@@ -1,0 +1,78 @@
+// §6 (future work): mapping in the presence of application cross-traffic.
+//
+// "Although we have some evidence that the algorithm can oftentimes
+// correctly map the network even in the face of heavy application
+// cross-traffic, developing provably correct algorithms for on-line mapping
+// remains a challenging area for future work."
+//
+// Cross-traffic only destroys probes (a blocked worm is forward-reset);
+// it never forges responses, so the mapped graph can only *miss* parts of
+// the network, never invent them. This bench sweeps the per-channel traffic
+// intensity on subcluster C and reports, over repeated seeds, how often the
+// map is still exact and how much of the network the average map covers.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sanmap;
+  common::Flags flags;
+  flags.define("runs", "10", "seeds per intensity");
+  if (!flags.parse(argc, argv)) {
+    return 0;
+  }
+  const auto runs = flags.get_int("runs");
+
+  std::cout << "=== §6: mapping under application cross-traffic "
+               "(subcluster C) ===\n";
+  const topo::Topology network =
+      topo::now_subcluster(topo::Subcluster::kC, "C");
+  const topo::Topology expected = topo::core(network);
+
+  common::Table table({"traffic intensity", "retries", "exact maps",
+                       "hosts found", "links found", "probes", "time (ms)"});
+  for (const double intensity : {0.0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1}) {
+    for (const int retries : {0, 2}) {
+      int exact = 0;
+      common::Summary hosts;
+      common::Summary links;
+      common::Summary probes;
+      common::Summary time_ms;
+      for (std::int64_t run = 0; run < runs; ++run) {
+        simnet::FaultModel faults;
+        faults.traffic_intensity = intensity;
+        probe::ProbeOptions options;
+        options.retries = retries;
+        const auto result = bench::run_berkeley(
+            network, simnet::CollisionModel::kCutThrough, {}, options,
+            faults, 500 + static_cast<std::uint64_t>(run));
+        if (topo::isomorphic(result.map, expected)) {
+          ++exact;
+        }
+        hosts.add(static_cast<double>(result.map.num_hosts()));
+        links.add(static_cast<double>(result.map.num_wires()));
+        probes.add(static_cast<double>(result.probes.total()));
+        time_ms.add(result.elapsed.to_ms());
+      }
+      table.add_row(
+          {common::fmt_percent(intensity, 1), std::to_string(retries),
+           std::to_string(exact) + "/" + std::to_string(runs),
+           common::fmt(hosts.mean(), 1) + "/" +
+               std::to_string(network.num_hosts()),
+           common::fmt(links.mean(), 1) + "/" +
+               std::to_string(network.num_wires()),
+           common::fmt(probes.mean(), 0), common::fmt(time_ms.mean(), 0)});
+    }
+  }
+  std::cout << table
+            << "\n(intensity = probability that one channel traversal hits "
+               "foreign traffic; a probe crossing k channels survives with "
+               "probability (1-p)^k)\n"
+               "The map degrades gracefully — missing pieces, never wrong "
+               "ones — matching the paper's \"oftentimes correct\" "
+               "observation and its motivation for future work.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// §6 online mapping with scheduled (interval-based) cross-traffic.
+//
+// Unlike bench_crosstraffic's Bernoulli model, here the cross-traffic is
+// actual worms: each flow occupies every channel on its path for a concrete
+// window, probes wait behind them (adding latency) and die only when a
+// blockage outlasts the 55 ms forward-reset. The question is the paper's:
+// how far can load grow before the map degrades, and what does retrying
+// buy? With realistic short messages the answer is "a long way": waits are
+// microseconds, so losses — and map damage — need sustained saturation.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "simnet/traffic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sanmap;
+  common::Flags flags;
+  flags.define("runs", "5", "seeds per load level");
+  flags.define("payload", "4096", "flits per background message");
+  if (!flags.parse(argc, argv)) {
+    return 0;
+  }
+  const auto runs = flags.get_int("runs");
+  const int payload = static_cast<int>(flags.get_int("payload"));
+
+  const topo::Topology network =
+      topo::now_subcluster(topo::Subcluster::kC, "C");
+  const topo::NodeId mapper_host = *network.find_host("C.util");
+  const topo::Topology expected = topo::core(network);
+  const int depth = topo::search_depth(network, mapper_host);
+
+  std::cout << "=== §6 online mapping under scheduled cross-traffic "
+               "(subcluster C, " << payload << "-flit messages) ===\n";
+  common::Table table({"flows/s", "exact maps", "probes", "time (ms)",
+                       "vs quiet"});
+  double quiet_ms = 0;
+  for (const std::size_t flows_per_second :
+       {0u, 10'000u, 50'000u, 100'000u, 250'000u, 500'000u}) {
+    int exact = 0;
+    common::Summary probes;
+    common::Summary time_ms;
+    for (std::int64_t run = 0; run < runs; ++run) {
+      const auto horizon = common::SimTime::seconds(2);
+      common::Rng rng(900 + static_cast<std::uint64_t>(run));
+      simnet::TrafficSchedule schedule;
+      simnet::add_random_traffic(
+          schedule, network,
+          flows_per_second * 2 /* horizon seconds */, horizon, rng,
+          simnet::CostModel{}, payload);
+      schedule.finalize();
+
+      simnet::Network net(network);
+      net.attach_traffic(&schedule);
+      probe::ProbeEngine engine(net, mapper_host);
+      mapper::MapperConfig config;
+      config.search_depth = depth;
+      const auto result = mapper::BerkeleyMapper(engine, config).run();
+      if (topo::isomorphic(result.map, expected)) {
+        ++exact;
+      }
+      probes.add(static_cast<double>(result.probes.total()));
+      time_ms.add(result.elapsed.to_ms());
+    }
+    if (flows_per_second == 0) {
+      quiet_ms = time_ms.mean();
+    }
+    table.add_row({std::to_string(flows_per_second),
+                   std::to_string(exact) + "/" + std::to_string(runs),
+                   common::fmt(probes.mean(), 0),
+                   common::fmt(time_ms.mean(), 0),
+                   common::fmt(time_ms.mean() / quiet_ms, 2) + "x"});
+  }
+  std::cout << table
+            << "\nShort background messages delay probes by microseconds "
+               "per encounter; the map stays exact far past the loads at "
+               "which the Bernoulli model (bench_crosstraffic) predicts "
+               "failure — supporting the paper's observation that the "
+               "algorithm \"can oftentimes correctly map the network even "
+               "in the face of heavy application cross-traffic\".\n";
+  return 0;
+}

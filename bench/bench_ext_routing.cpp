@@ -1,0 +1,113 @@
+// §5.5/§6 routing study: UP*/DOWN* quality and its alternatives.
+//
+// Quantifies the paper's qualitative claims: UP*/DOWN* concentrates traffic
+// about the root; its goodness is topology-dependent; the dominant-switch
+// relabeling recovers unusable switches; root placement matters ("a
+// strategically placed cable or two can re-root the UP*/DOWN* tree"); and
+// the spanning-tree baseline shows what ignoring redundant links costs.
+// Route-table distribution (§5.5's final step) is timed at the end.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "routing/congestion.hpp"
+#include "routing/deadlock.hpp"
+#include "routing/distribute.hpp"
+#include "routing/routes.hpp"
+#include "routing/tree_routes.hpp"
+
+int main() {
+  using namespace sanmap;
+  std::cout << "=== Routing strategy comparison (mean hops / max channel "
+               "load / root share) ===\n";
+  common::Table table({"Topology", "strategy", "mean hops", "max hops",
+                       "max load", "root share", "acyclic"});
+
+  struct Case {
+    std::string name;
+    topo::Topology network;
+  };
+  common::Rng rng(123);
+  std::vector<Case> cases;
+  cases.push_back({"NOW-100", topo::now_cluster()});
+  // (torus 4x4 is omitted: C4 x C4 is graph-isomorphic to the 4-cube.)
+  cases.push_back({"torus 5x4", topo::torus(5, 4, 1)});
+  cases.push_back({"hypercube(4,1)", topo::hypercube(4, 1)});
+  cases.push_back({"random 12s/16h", topo::random_irregular(12, 16, 8, rng)});
+  {
+    // A diamond with a host-free far corner: the textbook locally dominant
+    // switch. Without the §5.5 relabeling every cross route squeezes
+    // through the root; with it the corner carries half the load.
+    topo::Topology diamond;
+    const topo::NodeId r = diamond.add_switch("r");
+    const topo::NodeId x = diamond.add_switch("x");
+    const topo::NodeId y = diamond.add_switch("y");
+    const topo::NodeId m = diamond.add_switch("m");
+    diamond.connect(r, 0, x, 0);
+    diamond.connect(r, 1, y, 0);
+    diamond.connect(x, 1, m, 0);
+    diamond.connect(y, 1, m, 1);
+    for (int i = 0; i < 4; ++i) {
+      const topo::NodeId hx = diamond.add_host("hx" + std::to_string(i));
+      diamond.connect(hx, 0, x, static_cast<topo::Port>(2 + i));
+      const topo::NodeId hy = diamond.add_host("hy" + std::to_string(i));
+      diamond.connect(hy, 0, y, static_cast<topo::Port>(2 + i));
+    }
+    cases.push_back({"diamond (dominant m)", diamond});
+  }
+
+  for (const auto& c : cases) {
+    const auto add = [&](const char* label,
+                         const routing::RoutingResult& routes) {
+      const auto stats = routing::channel_load(c.network, routes);
+      const auto analysis = routing::analyze_routes(c.network, routes);
+      table.add_row({c.name, label, common::fmt(routes.mean_hops(), 2),
+                     std::to_string(routes.max_hops()),
+                     std::to_string(stats.max_channel_load),
+                     common::fmt_percent(stats.root_traffic_share),
+                     analysis.deadlock_free ? "yes" : "NO"});
+    };
+
+    add("UP*/DOWN* (far root)", routing::compute_updown_routes(c.network));
+
+    routing::UpDownOptions no_fix;
+    no_fix.fix_dominant_switches = false;
+    add("UP*/DOWN* (no dominant fix)",
+        routing::compute_updown_routes(c.network, no_fix));
+
+    // Deliberately bad root: a leaf-most switch (nearest to hosts).
+    routing::UpDownOptions bad_root;
+    {
+      int best = std::numeric_limits<int>::max();
+      for (const topo::NodeId s : c.network.switches()) {
+        int nearest = std::numeric_limits<int>::max();
+        const auto dist = topo::bfs_distances(c.network, s);
+        for (const topo::NodeId h : c.network.hosts()) {
+          nearest = std::min(nearest, dist[h]);
+        }
+        if (nearest < best) {
+          best = nearest;
+          bad_root.root = s;
+        }
+      }
+    }
+    add("UP*/DOWN* (bad root)",
+        routing::compute_updown_routes(c.network, bad_root));
+
+    add("spanning tree", routing::compute_tree_routes(c.network));
+    table.add_rule();
+  }
+  std::cout << table << "\n";
+
+  std::cout << "=== §5.5 route-table distribution (NOW-100, master = "
+               "C.util) ===\n";
+  const topo::Topology now = topo::now_cluster();
+  const auto routes = routing::compute_updown_routes(now);
+  simnet::Network net(now);
+  const auto dist = routing::distribute_tables(
+      net, routes, *now.find_host("C.util"));
+  std::cout << "tables   : " << dist.messages << " messages, " << dist.bytes
+            << " bytes, " << dist.elapsed.str() << ", "
+            << (dist.complete ? "all delivered" : "INCOMPLETE") << "\n";
+  return dist.complete ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Figure 10: the Myricom Algorithm's performance summary on the same three
+// systems, plus the §5.4 comparison against the Berkeley Algorithm.
+//
+//   Paper (for reference):
+//     System   loop  host   sw.  comp  total  time(ms)
+//     C         134   713   152   450   1449      1414
+//     C+A       283  1484   329  1234   3330      2197
+//     C+A+B     424  2293   611  5089   8413      4009
+//
+//   §5.4: Myricom sends 3.2 / 3.6 / 5.4 times the Berkeley message count
+//   and takes ~5.5 / 3.9 / 3.9 times as long on C / C+A / C+A+B.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "myricom/myricom_mapper.hpp"
+
+int main() {
+  using namespace sanmap;
+  std::cout << "=== Figure 10: Myricom Algorithm performance summary ===\n";
+  common::Table table({"System", "loop", "host", "sw.", "comp", "total",
+                       "time (ms)", "map"});
+  common::Table comparison({"System", "msg ratio vs Berkeley",
+                            "time ratio vs Berkeley"});
+  for (const auto system :
+       {topo::NowSystem::kC, topo::NowSystem::kCA, topo::NowSystem::kCAB}) {
+    const topo::Topology network = topo::now_system(system);
+    const topo::NodeId mapper_host = bench::mapper_host_of(network);
+
+    simnet::Network net(network);
+    const auto myri = myricom::MyricomMapper(net, mapper_host).run();
+    // The Myricom map covers all of N (comparison probes need no hosts).
+    const bool ok = topo::isomorphic(myri.map, network);
+    const auto& p = myri.probes;
+    table.add_row({topo::to_string(system), std::to_string(p.loop_probes),
+                   std::to_string(p.host_probes),
+                   std::to_string(p.switch_probes),
+                   std::to_string(p.compare_probes),
+                   std::to_string(p.total()),
+                   common::fmt(myri.elapsed.to_ms(), 0),
+                   ok ? "ok" : "WRONG"});
+
+    const auto berkeley = bench::run_berkeley(network);
+    comparison.add_row(
+        {topo::to_string(system),
+         common::fmt(static_cast<double>(p.total()) /
+                         static_cast<double>(berkeley.probes.total()),
+                     1) + "x",
+         common::fmt(myri.elapsed.to_ms() / berkeley.elapsed.to_ms(), 1) +
+             "x"});
+  }
+  std::cout << table
+            << "\npaper:  C 134/713/152/450 = 1449 in 1414 ms   C+A "
+               "283/1484/329/1234 = 3330 in 2197 ms   C+A+B "
+               "424/2293/611/5089 = 8413 in 4009 ms\n\n";
+  std::cout << "=== §5.4: Myricom vs Berkeley ===\n"
+            << comparison
+            << "\npaper:  messages 3.2x / 3.6x / 5.4x,  time 5.5x / 3.9x / "
+               "3.9x\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 6: host and switch probe message hit ratios for the C, C+A and
+// C+A+B growth sequence.
+//
+//   Paper (for reference):
+//     System   host  hits  ratio   switch  hits  ratio
+//     C         200   107   53%       250   157   62%
+//     C+A       412   216   52%       491   295   60%
+//     C+A+B     804   324   40%      1207   727   60%
+//
+// Message counts are algorithmic properties (the paper says so under this
+// figure); the exact split between the two categories depends on the probe
+// interleaving discipline, which the paper does not fully specify. Ours is
+// switch-probe-first (preserving the paper's switch-probes >= host-probes
+// relation); EXPERIMENTS.md discusses the residual differences.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace sanmap;
+  std::cout << "=== Figure 6: host and switch probe message hit ratios ===\n";
+  common::Table table({"System", "host", "hits", "ratio", "switch", "hits",
+                       "ratio", "map"});
+  for (const auto system :
+       {topo::NowSystem::kC, topo::NowSystem::kCA, topo::NowSystem::kCAB}) {
+    const topo::Topology network = topo::now_system(system);
+    const auto result = bench::run_berkeley(network);
+    const auto& p = result.probes;
+    table.add_row({topo::to_string(system), std::to_string(p.host_probes),
+                   std::to_string(p.host_hits),
+                   common::fmt_percent(p.host_ratio()),
+                   std::to_string(p.switch_probes),
+                   std::to_string(p.switch_hits),
+                   common::fmt_percent(p.switch_ratio()),
+                   bench::verify(network, result)});
+  }
+  std::cout << table
+            << "\npaper:  C 200/107/53% 250/157/62%   C+A 412/216/52% "
+               "491/295/60%   C+A+B 804/324/40% 1207/727/60%\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 7: mapping times (min / avg / max over repeated runs) for the C,
+// C+A and C+A+B systems under both operational modes.
+//
+//   Paper (for reference):
+//     System   one master (ms)      election (ms)
+//     C        248 / 256 / 265      277 / 278 / 282
+//     C+A      499 / 522 / 555      569 / 577 / 587
+//     C+A+B    981 / 1011 / 1208    1065 / 1298 / 3332
+//
+// Per-run variance comes from a few percent of per-probe overhead jitter
+// (OS scheduling noise on the mapper host) plus, in election mode, the
+// random contention window before the winner emerges. All times are
+// simulated milliseconds from the calibrated cost model (DESIGN.md §6.4).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sanmap;
+  common::Flags flags;
+  flags.define("runs", "10", "runs per cell");
+  flags.define("jitter", "0.07", "per-probe overhead jitter fraction");
+  if (!flags.parse(argc, argv)) {
+    return 0;
+  }
+  const auto runs = flags.get_int("runs");
+  const double jitter = flags.get_double("jitter");
+
+  std::cout << "=== Figure 7: mapping times, one master vs election ===\n";
+  common::Table table(
+      {"System", "time(ms), one master min/avg/max",
+       "time(ms), election min/avg/max", "map"});
+  for (const auto system :
+       {topo::NowSystem::kC, topo::NowSystem::kCA, topo::NowSystem::kCAB}) {
+    const topo::Topology network = topo::now_system(system);
+    common::Summary master;
+    common::Summary election;
+    std::string ok = "ok";
+    for (std::int64_t run = 0; run < runs; ++run) {
+      probe::ProbeOptions options;
+      options.jitter = jitter;
+      options.jitter_seed = 1000 + static_cast<std::uint64_t>(run);
+      const auto m = bench::run_berkeley(
+          network, simnet::CollisionModel::kCutThrough, {}, options);
+      master.add(m.elapsed.to_ms());
+      if (bench::verify(network, m) != "ok") {
+        ok = "WRONG";
+      }
+
+      options.election = true;
+      options.election_seed = 2000 + static_cast<std::uint64_t>(run);
+      const auto e = bench::run_berkeley(
+          network, simnet::CollisionModel::kCutThrough, {}, options);
+      election.add(e.elapsed.to_ms());
+    }
+    table.add_row({topo::to_string(system), master.min_avg_max(0),
+                   election.min_avg_max(0), ok});
+  }
+  std::cout << table
+            << "\npaper:  C 248/256/265 | 277/278/282   C+A 499/522/555 | "
+               "569/577/587   C+A+B 981/1011/1208 | 1065/1298/3332\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 9: time to map the 40-switch network as the number of hosts
+// running (passive) mapper daemons grows from 1 to 100.
+//
+// The paper's top curve adds mappers subcluster by subcluster (step
+// discontinuities when the first responder of a new subcluster appears);
+// the bottom curve adds them in random order. Headline observations to
+// reproduce in shape: a large speedup from 1 to 100 (paper: ~8x), random
+// placement within 2x of the minimum after ~15 mappers and within 1.5x
+// after ~20.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sanmap;
+  common::Flags flags;
+  flags.define("step", "5", "hosts added between samples");
+  flags.define("seed", "11", "seed for the random placement order");
+  if (!flags.parse(argc, argv)) {
+    return 0;
+  }
+
+  const topo::Topology network = topo::now_cluster();
+  const topo::NodeId mapper_host = bench::mapper_host_of(network);
+
+  // Ordered fill: C's hosts first, then A's, then B's (generation order
+  // already groups by subcluster; sorting by name keeps it explicit).
+  std::vector<topo::NodeId> ordered = network.hosts();
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](topo::NodeId a, topo::NodeId b) {
+                     // C first (the mapper's subcluster), then A, then B.
+                     const auto rank = [&](topo::NodeId n) {
+                       switch (network.name(n)[0]) {
+                         case 'C':
+                           return 0;
+                         case 'A':
+                           return 1;
+                         default:
+                           return 2;
+                       }
+                     };
+                     return rank(a) < rank(b);
+                   });
+  const auto promote = [&](std::vector<topo::NodeId>& hosts) {
+    const auto it = std::find(hosts.begin(), hosts.end(), mapper_host);
+    std::rotate(hosts.begin(), it, it + 1);
+  };
+  promote(ordered);
+  std::vector<topo::NodeId> random = network.hosts();
+  common::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  rng.shuffle(random);
+  promote(random);
+
+  const auto time_with = [&](const std::vector<topo::NodeId>& order,
+                             std::size_t count) {
+    probe::ProbeOptions options;
+    options.participants.assign(order.begin(),
+                                order.begin() + static_cast<long>(count));
+    return bench::run_berkeley(network, simnet::CollisionModel::kCutThrough,
+                               {}, options)
+        .elapsed.to_ms();
+  };
+
+  std::cout << "=== Figure 9: map time vs number of hosts running a mapper "
+               "===\n";
+  common::Table table({"mappers", "subcluster order (ms)",
+                       "random order (ms)"});
+  const auto step = static_cast<std::size_t>(flags.get_int("step"));
+  double first = 0;
+  double final_time = 0;
+  double random_at_15 = 0;
+  double random_at_20 = 0;
+  for (std::size_t count = 1; count <= network.num_hosts();
+       count = std::min(network.num_hosts(),
+                        count == 1 ? step : count + step)) {
+    const double t_ordered = time_with(ordered, count);
+    const double t_random = time_with(random, count);
+    if (count == 1) {
+      first = t_ordered;
+    }
+    if (count <= 15) {
+      random_at_15 = t_random;
+    }
+    if (count <= 20) {
+      random_at_20 = t_random;
+    }
+    final_time = t_random;
+    table.add_row({std::to_string(count), common::fmt(t_ordered, 1),
+                   common::fmt(t_random, 1)});
+    if (count == network.num_hosts()) {
+      break;
+    }
+  }
+  std::cout << table << "\n";
+  std::cout << "speedup 1 -> 100 mappers : "
+            << common::fmt(first / final_time, 1) << "x  (paper: ~8x)\n";
+  std::cout << "random @15 vs minimum    : "
+            << common::fmt(random_at_15 / final_time, 2)
+            << "x  (paper: within 2x)\n";
+  std::cout << "random @20 vs minimum    : "
+            << common::fmt(random_at_20 / final_time, 2)
+            << "x  (paper: within 1.5x)\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Wall-clock scaling microbenchmarks (google-benchmark).
+//
+// Beyond the paper: how the implementation itself scales with network size
+// — mapping (Berkeley and Myricom), the correctness oracle, Q computation,
+// and UP*/DOWN* route computation. Counters report simulated probes per
+// iteration so algorithmic cost and wall-clock cost can be separated.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "mapper/berkeley_mapper.hpp"
+#include "myricom/myricom_mapper.hpp"
+#include "probe/probe_engine.hpp"
+#include "routing/deadlock.hpp"
+#include "routing/routes.hpp"
+#include "simnet/network.hpp"
+#include "topology/algorithms.hpp"
+#include "topology/generators.hpp"
+#include "topology/isomorphism.hpp"
+
+namespace {
+
+using namespace sanmap;
+
+topo::Topology fat_tree_of_size(int leaf_switches) {
+  topo::FatTreeOptions options;
+  options.levels = 3;
+  options.leaf_switches = leaf_switches;
+  options.switches_per_upper_level = std::max(2, leaf_switches / 2);
+  options.hosts_per_leaf = 4;
+  options.uplinks = 2;
+  return topo::fat_tree(options);
+}
+
+void BM_BerkeleyMapFatTree(benchmark::State& state) {
+  const topo::Topology network =
+      fat_tree_of_size(static_cast<int>(state.range(0)));
+  const topo::NodeId mapper_host = network.hosts().front();
+  const int depth = topo::search_depth(network, mapper_host);
+  std::uint64_t probes = 0;
+  for (auto _ : state) {
+    simnet::Network net(network);
+    probe::ProbeEngine engine(net, mapper_host);
+    mapper::MapperConfig config;
+    config.search_depth = depth;
+    const auto result = mapper::BerkeleyMapper(engine, config).run();
+    benchmark::DoNotOptimize(result.map.num_wires());
+    probes = result.probes.total();
+  }
+  state.counters["nodes"] = static_cast<double>(network.num_nodes());
+  state.counters["probes"] = static_cast<double>(probes);
+}
+BENCHMARK(BM_BerkeleyMapFatTree)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BerkeleyMapNow100(benchmark::State& state) {
+  const topo::Topology network = topo::now_cluster();
+  const topo::NodeId mapper_host = *network.find_host("C.util");
+  const int depth = topo::search_depth(network, mapper_host);
+  for (auto _ : state) {
+    simnet::Network net(network);
+    probe::ProbeEngine engine(net, mapper_host);
+    mapper::MapperConfig config;
+    config.search_depth = depth;
+    benchmark::DoNotOptimize(
+        mapper::BerkeleyMapper(engine, config).run().map.num_wires());
+  }
+}
+BENCHMARK(BM_BerkeleyMapNow100);
+
+void BM_MyricomMapFatTree(benchmark::State& state) {
+  const topo::Topology network =
+      fat_tree_of_size(static_cast<int>(state.range(0)));
+  const topo::NodeId mapper_host = network.hosts().front();
+  std::uint64_t probes = 0;
+  for (auto _ : state) {
+    simnet::Network net(network);
+    const auto result =
+        myricom::MyricomMapper(net, mapper_host).run();
+    benchmark::DoNotOptimize(result.map.num_wires());
+    probes = result.probes.total();
+  }
+  state.counters["probes"] = static_cast<double>(probes);
+}
+BENCHMARK(BM_MyricomMapFatTree)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_IsomorphismOracle(benchmark::State& state) {
+  common::Rng rng(1);
+  const topo::Topology a = topo::random_irregular(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(0)),
+      static_cast<int>(state.range(0)) / 2, rng);
+  const topo::Topology b = a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::isomorphic(a, b));
+  }
+}
+BENCHMARK(BM_IsomorphismOracle)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_QValue(benchmark::State& state) {
+  const topo::Topology network =
+      fat_tree_of_size(static_cast<int>(state.range(0)));
+  const topo::NodeId mapper_host = network.hosts().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::q_value(network, mapper_host));
+  }
+}
+BENCHMARK(BM_QValue)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_UpDownRoutes(benchmark::State& state) {
+  const topo::Topology network =
+      fat_tree_of_size(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto routes = routing::compute_updown_routes(network);
+    benchmark::DoNotOptimize(routes.routes.size());
+  }
+  state.counters["pairs"] = static_cast<double>(
+      network.num_hosts() * (network.num_hosts() - 1));
+}
+BENCHMARK(BM_UpDownRoutes)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DeadlockAnalysis(benchmark::State& state) {
+  const topo::Topology network = topo::now_cluster();
+  const auto routes = routing::compute_updown_routes(network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::analyze_routes(network, routes).deadlock_free);
+  }
+}
+BENCHMARK(BM_DeadlockAnalysis);
+
+void BM_ProbeRoundTrip(benchmark::State& state) {
+  const topo::Topology network = topo::now_cluster();
+  simnet::Network net(network);
+  const topo::NodeId mapper_host = *network.find_host("C.util");
+  probe::ProbeEngine engine(net, mapper_host);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.switch_probe(simnet::Route{1}));
+  }
+}
+BENCHMARK(BM_ProbeRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Shared helpers for the bench binaries (one binary per paper table/figure;
+// see DESIGN.md §4 for the experiment index).
+#pragma once
+
+#include <string>
+
+#include "mapper/berkeley_mapper.hpp"
+#include "probe/probe_engine.hpp"
+#include "simnet/network.hpp"
+#include "topology/algorithms.hpp"
+#include "topology/generators.hpp"
+#include "topology/isomorphism.hpp"
+
+namespace sanmap::bench {
+
+/// The mapper host used throughout the evaluation: the utility machine
+/// attached to a root of subcluster C ("a machine dedicated to running
+/// system services (e.g., nameservers or the active mapper process)").
+inline topo::NodeId mapper_host_of(const topo::Topology& topo) {
+  if (const auto util = topo.find_host("C.util")) {
+    return *util;
+  }
+  return topo.hosts().front();
+}
+
+/// Runs the Berkeley mapper with the ground-truth search depth.
+inline mapper::MapResult run_berkeley(
+    const topo::Topology& network,
+    simnet::CollisionModel collision = simnet::CollisionModel::kCutThrough,
+    mapper::MapperConfig config = {}, probe::ProbeOptions probe_options = {},
+    simnet::FaultModel faults = {}, std::uint64_t fault_seed = 1) {
+  const topo::NodeId mapper_host = mapper_host_of(network);
+  simnet::Network net(network, collision, simnet::CostModel{}, faults,
+                      fault_seed);
+  probe::ProbeEngine engine(net, mapper_host, std::move(probe_options));
+  config.search_depth = topo::search_depth(network, mapper_host);
+  return mapper::BerkeleyMapper(engine, config).run();
+}
+
+/// "ok" / "WRONG" against the Theorem 1 oracle.
+inline std::string verify(const topo::Topology& network,
+                          const mapper::MapResult& result) {
+  return topo::isomorphic(result.map, topo::core(network)) ? "ok" : "WRONG";
+}
+
+}  // namespace sanmap::bench

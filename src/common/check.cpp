@@ -1,0 +1,15 @@
+#include "common/check.hpp"
+
+namespace sanmap::common {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream oss;
+  oss << "SANMAP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw CheckFailure(oss.str());
+}
+
+}  // namespace sanmap::common

@@ -1,0 +1,49 @@
+// Lightweight runtime checking macros used across sanmap.
+//
+// SANMAP_CHECK is always on (benches and examples rely on it to validate
+// invariants in release builds); SANMAP_DCHECK compiles out in NDEBUG builds
+// and is meant for hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sanmap::common {
+
+/// Thrown when a SANMAP_CHECK fails. Deriving from std::logic_error keeps the
+/// failure distinguishable from environmental errors (std::runtime_error).
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace sanmap::common
+
+#define SANMAP_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::sanmap::common::check_failed(#expr, __FILE__, __LINE__, "");       \
+    }                                                                      \
+  } while (false)
+
+#define SANMAP_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream sanmap_check_oss_;                                \
+      sanmap_check_oss_ << msg; /* NOLINT */                               \
+      ::sanmap::common::check_failed(#expr, __FILE__, __LINE__,            \
+                                     sanmap_check_oss_.str());             \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define SANMAP_DCHECK(expr) \
+  do {                      \
+  } while (false)
+#else
+#define SANMAP_DCHECK(expr) SANMAP_CHECK(expr)
+#endif

@@ -1,0 +1,50 @@
+// Minimal command-line flag parsing for examples and benches.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name forms.
+// Unknown flags are an error so typos never silently change an experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sanmap::common {
+
+/// Parsed command line: registered flags plus positional arguments.
+class Flags {
+ public:
+  /// Registers a flag with a default value and a help string. Must be called
+  /// before parse(). The string form of the default is what --help shows.
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given.
+  /// Throws std::runtime_error on unknown flags or malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> positional_;
+  std::string program_ = "program";
+};
+
+}  // namespace sanmap::common

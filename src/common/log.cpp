@@ -1,0 +1,56 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace sanmap::common {
+
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
+std::atomic<std::ostream*> g_sink{nullptr};
+std::mutex g_mutex;
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_log_sink(std::ostream* sink) {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& tag,
+              const std::string& message) {
+  if (!log_enabled(level)) {
+    return;
+  }
+  std::ostream* sink = g_sink.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::ostream& out = sink != nullptr ? *sink : std::clog;
+  out << '[' << to_string(level) << "] [" << tag << "] " << message << '\n';
+}
+
+}  // namespace sanmap::common

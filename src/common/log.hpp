@@ -1,0 +1,53 @@
+// Minimal leveled logging.
+//
+// A single process-wide logger with a settable threshold; modules emit
+// structured one-line messages ("[mapper] merged v12 into v7 shift -3").
+// Logging defaults to kWarning so tests and benches stay quiet; the CLI's
+// --verbose lowers it. Not a tracing framework — the Figure 8 trace and
+// probe transcripts carry machine-readable histories.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace sanmap::common {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+const char* to_string(LogLevel level);
+
+/// Process-wide log threshold; messages below it are discarded.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// Redirects log output (default std::clog). Pass nullptr to restore the
+/// default. Not owned.
+void set_log_sink(std::ostream* sink);
+
+/// Emits one line: "[level] [tag] message\n". Thread-safe.
+void log_line(LogLevel level, const std::string& tag,
+              const std::string& message);
+
+/// True when a message at `level` would actually be emitted — guard
+/// expensive message construction with this.
+inline bool log_enabled(LogLevel level) { return level >= log_threshold(); }
+
+}  // namespace sanmap::common
+
+/// Streaming convenience: SANMAP_LOG(kInfo, "mapper", "merged " << a).
+#define SANMAP_LOG(level, tag, expr)                                  \
+  do {                                                                \
+    if (::sanmap::common::log_enabled(::sanmap::common::LogLevel::level)) { \
+      std::ostringstream sanmap_log_oss_;                             \
+      sanmap_log_oss_ << expr; /* NOLINT */                           \
+      ::sanmap::common::log_line(::sanmap::common::LogLevel::level,   \
+                                 tag, sanmap_log_oss_.str());         \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,13 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace sanmap::common {
+
+double Rng::exponential(double mean) {
+  SANMAP_CHECK(mean > 0.0);
+  // Inverse-CDF; 1 - uniform() is in (0, 1] so the log is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+}  // namespace sanmap::common

@@ -1,0 +1,36 @@
+#include "common/sim_time.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace sanmap::common {
+
+SimTime SimTime::from_us(double v) {
+  return SimTime::ns(static_cast<std::int64_t>(std::llround(v * 1e3)));
+}
+
+std::string SimTime::str() const {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  const auto abs_ns = ns_ < 0 ? -ns_ : ns_;
+  if (abs_ns >= 1'000'000'000) {
+    oss.precision(3);
+    oss << to_seconds() << " s";
+  } else if (abs_ns >= 1'000'000) {
+    oss.precision(3);
+    oss << to_ms() << " ms";
+  } else if (abs_ns >= 1'000) {
+    oss.precision(3);
+    oss << to_us() << " us";
+  } else {
+    oss << ns_ << " ns";
+  }
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.str();
+}
+
+}  // namespace sanmap::common

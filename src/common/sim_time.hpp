@@ -1,0 +1,79 @@
+// Virtual-clock time types.
+//
+// The simulator accounts all latencies in integer nanoseconds so that runs are
+// exactly reproducible (no floating-point accumulation order issues). Values
+// reported to users are converted to milliseconds at the edge.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace sanmap::common {
+
+/// A duration or absolute instant on the simulated clock, in nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime ns(std::int64_t v) {
+    return SimTime(v);
+  }
+  [[nodiscard]] static constexpr SimTime us(std::int64_t v) {
+    return SimTime(v * 1'000);
+  }
+  [[nodiscard]] static constexpr SimTime ms(std::int64_t v) {
+    return SimTime(v * 1'000'000);
+  }
+  [[nodiscard]] static constexpr SimTime seconds(std::int64_t v) {
+    return SimTime(v * 1'000'000'000);
+  }
+  /// Builds from a fractional microsecond count, rounding to nanoseconds.
+  [[nodiscard]] static SimTime from_us(double v);
+
+  [[nodiscard]] constexpr std::int64_t to_ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_us() const {
+    return static_cast<double>(ns_) / 1e3;
+  }
+  [[nodiscard]] constexpr double to_ms() const {
+    return static_cast<double>(ns_) / 1e6;
+  }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  constexpr SimTime& operator+=(SimTime rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.ns_ + b.ns_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.ns_ - b.ns_);
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime(a.ns_ * k);
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) {
+    return a * k;
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  /// Human-readable rendering with an adaptive unit ("248.3 ms", "550 ns").
+  [[nodiscard]] std::string str() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+}  // namespace sanmap::common

@@ -1,0 +1,46 @@
+// Summary statistics over samples, used by benches that report min/avg/max
+// rows in the style of the paper's Figure 7.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sanmap::common {
+
+/// Accumulates double-valued samples and reports order statistics.
+class Summary {
+ public:
+  Summary() = default;
+
+  void add(double sample);
+
+  /// Merges another summary's samples into this one.
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double sum() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// "min / avg / max" formatted with the given precision — the paper's
+  /// Figure 7 cell format.
+  [[nodiscard]] std::string min_avg_max(int precision = 0) const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace sanmap::common

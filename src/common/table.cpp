@@ -1,0 +1,93 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace sanmap::common {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  SANMAP_CHECK(!headers_.empty());
+  if (aligns_.empty()) {
+    // Default: first column left (row label), the rest right (numbers).
+    aligns_.assign(headers_.size(), Align::kRight);
+    aligns_[0] = Align::kLeft;
+  }
+  SANMAP_CHECK(aligns_.size() == headers_.size());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SANMAP_CHECK_MSG(cells.size() == headers_.size(),
+                   "row has " << cells.size() << " cells, expected "
+                              << headers_.size());
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void Table::add_rule() { pending_rule_ = true; }
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto emit_cells = [&](std::ostringstream& oss,
+                              const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) {
+        oss << "  ";
+      }
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (aligns_[c] == Align::kRight) {
+        oss << std::string(pad, ' ') << cells[c];
+      } else {
+        oss << cells[c] << std::string(pad, ' ');
+      }
+    }
+    oss << '\n';
+  };
+
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  const std::string rule(total, '-');
+
+  std::ostringstream oss;
+  emit_cells(oss, headers_);
+  oss << rule << '\n';
+  for (const Row& row : rows_) {
+    if (row.rule_before) {
+      oss << rule << '\n';
+    }
+    emit_cells(oss, row.cells);
+  }
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(precision);
+  oss << value;
+  return oss.str();
+}
+
+std::string fmt_percent(double ratio, int precision) {
+  return fmt(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace sanmap::common

@@ -1,0 +1,56 @@
+// Fixed-width plain-text table printer. Benches use it to emit rows in the
+// same layout as the paper's figures/tables so paper-vs-measured comparison
+// is a visual diff.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sanmap::common {
+
+/// Column alignment within a table cell.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, append rows of strings, print.
+///
+///   Table t({"System", "host", "hits", "ratio"});
+///   t.add_row({"C", "200", "107", "53%"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> aligns = {});
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next appended row.
+  void add_rule();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a header rule and column padding.
+  [[nodiscard]] std::string str() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string fmt(double value, int precision = 1);
+/// Formats a ratio (0.53 -> "53%").
+std::string fmt_percent(double ratio, int precision = 0);
+
+}  // namespace sanmap::common

@@ -1,0 +1,74 @@
+#include "mapper/berkeley_mapper.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "mapper/explorer.hpp"
+
+namespace sanmap::mapper {
+
+BerkeleyMapper::BerkeleyMapper(probe::ProbeEngine& engine,
+                               MapperConfig config)
+    : engine_(&engine), config_(config) {
+  SANMAP_CHECK(config_.search_depth >= 1);
+}
+
+MapResult BerkeleyMapper::run() {
+  engine_->reset();
+  MapResult result;
+
+  const auto& topo = engine_->network().topology();
+  const topo::NodeId mapper_host = engine_->mapper_host();
+
+  // INITIALIZATION: the root host-vertex and its adjacent vertex. The paper
+  // assumes the mapper's neighbor is a switch; we verify with the k = 0
+  // probe pair and also handle the degenerate direct-host case.
+  const VertexId root =
+      model_.add_host_vertex(simnet::Route{}, topo.name(mapper_host));
+  Explorer explorer(model_, *engine_, config_);
+  const probe::Response first = engine_->probe(simnet::Route{});
+  switch (first.kind) {
+    case probe::ResponseKind::kSwitch: {
+      const VertexId sw = model_.add_switch_vertex(simnet::Route{});
+      model_.add_edge(root, 0, sw, 0);
+      explorer.push(sw);
+      break;
+    }
+    case probe::ResponseKind::kHost: {
+      // Two hosts wired back to back: the whole network is one cable.
+      const VertexId other =
+          model_.add_host_vertex(simnet::Route{}, first.host_name);
+      model_.add_edge(root, 0, other, 0);
+      break;
+    }
+    case probe::ResponseKind::kNothing:
+      // Disconnected mapper; the map is just ourselves.
+      break;
+  }
+
+  // EXPLORE with interleaved merging (§3.3 modification 1).
+  explorer.run(result);
+
+  result.merges += static_cast<std::size_t>(model_.stabilize());
+  result.pruned = static_cast<std::size_t>(model_.prune());
+  if (config_.record_trace) {
+    // The post-prune point: the paper's Figure 8 plummet near the end.
+    result.trace.push_back(TracePoint{result.explorations + 1,
+                                      model_.live_vertices(),
+                                      model_.live_edges(), 0});
+  }
+
+  result.map = model_.extract();
+  result.probes = engine_->counters();
+  result.elapsed = engine_->elapsed();
+  SANMAP_LOG(kInfo, "mapper",
+             "mapped " << result.map.num_hosts() << "h/"
+                       << result.map.num_switches() << "s/"
+                       << result.map.num_wires() << "w with "
+                       << result.probes.total() << " probes in "
+                       << result.elapsed.str() << " ("
+                       << result.explorations << " explorations, peak "
+                       << result.peak_model_vertices << " model vertices)");
+  return result;
+}
+
+}  // namespace sanmap::mapper

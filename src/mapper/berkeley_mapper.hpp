@@ -1,0 +1,35 @@
+// The Berkeley mapping algorithm, production form (§3.1 as modified by
+// §3.3): breadth-first exploration by probes of increasing length, with
+// vertex merging interleaved into the exploration loop and driven by a
+// merge list, plus the probe-elimination optimizations.
+//
+// Usage:
+//   simnet::Network net(topology);
+//   probe::ProbeEngine engine(net, mapper_host);
+//   mapper::MapperConfig config;
+//   config.search_depth = topo::search_depth(topology, mapper_host);
+//   auto result = mapper::BerkeleyMapper(engine, config).run();
+//   // result.map is isomorphic to core(topology) (up to port offsets)
+#pragma once
+
+#include "mapper/map_result.hpp"
+#include "mapper/model_graph.hpp"
+#include "probe/probe_engine.hpp"
+
+namespace sanmap::mapper {
+
+class BerkeleyMapper {
+ public:
+  BerkeleyMapper(probe::ProbeEngine& engine, MapperConfig config);
+
+  /// Runs the full pipeline: initialize, explore+merge, final stabilize,
+  /// prune, extract. The probe engine's counters and clock are reset first.
+  MapResult run();
+
+ private:
+  probe::ProbeEngine* engine_;
+  MapperConfig config_;
+  ModelGraph model_;
+};
+
+}  // namespace sanmap::mapper

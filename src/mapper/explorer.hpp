@@ -1,0 +1,43 @@
+// The BFS exploration engine shared by the Berkeley mapper and the
+// randomized (§6) mapper: a FIFO frontier of switch vertices, each explored
+// by probing its feasible turns, with vertex merging interleaved (§3.3) and
+// the probe-elimination heuristics applied.
+#pragma once
+
+#include <vector>
+
+#include "mapper/map_result.hpp"
+#include "mapper/model_graph.hpp"
+#include "probe/probe_engine.hpp"
+
+namespace sanmap::mapper {
+
+class Explorer {
+ public:
+  Explorer(ModelGraph& model, probe::ProbeEngine& engine,
+           const MapperConfig& config)
+      : model_(&model), engine_(&engine), config_(&config) {}
+
+  /// Enqueues a switch vertex for exploration.
+  void push(VertexId v) { frontier_.push_back(v); }
+
+  [[nodiscard]] std::size_t pending() const {
+    return frontier_.size() - head_;
+  }
+
+  /// Drains the frontier, exploring every live, unexplored switch vertex
+  /// within the search depth. Accumulates counters and (optionally) the
+  /// Figure 8 trace into `result`.
+  void run(MapResult& result);
+
+ private:
+  void explore_vertex(VertexId v, MapResult& result);
+
+  ModelGraph* model_;
+  probe::ProbeEngine* engine_;
+  const MapperConfig* config_;
+  std::vector<VertexId> frontier_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace sanmap::mapper

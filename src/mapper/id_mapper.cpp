@@ -1,0 +1,193 @@
+#include "mapper/id_mapper.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mapper/turn_feasibility.hpp"
+
+namespace sanmap::mapper {
+
+namespace {
+
+using simnet::Route;
+using simnet::Turn;
+
+class Runner {
+ public:
+  explicit Runner(probe::ProbeEngine& engine) : engine_(engine) {}
+
+  IdMapResult run() {
+    engine_.reset();
+    IdMapResult result;
+
+    if (const auto id = engine_.identifying_switch_probe(Route{})) {
+      const std::size_t root = register_switch(*id, Route{});
+      host_edges_.emplace(
+          engine_.network().topology().name(engine_.mapper_host()),
+          std::make_pair(root, 0));
+      explore_queue_.push_back(root);
+      while (head_ < explore_queue_.size()) {
+        explore(explore_queue_[head_++]);
+      }
+    } else if (const auto name = engine_.host_probe(Route{})) {
+      direct_host_ = *name;
+    }
+
+    result.map = extract();
+    result.probes = engine_.counters();
+    result.alignment_probes = alignment_probes_;
+    result.elapsed = engine_.elapsed();
+    result.switches = prefixes_.size();
+    return result;
+  }
+
+ private:
+  std::size_t register_switch(topo::NodeId id, Route prefix) {
+    const auto it = index_of_.find(id);
+    if (it != index_of_.end()) {
+      return it->second;
+    }
+    const std::size_t idx = prefixes_.size();
+    index_of_.emplace(id, idx);
+    prefixes_.push_back(std::move(prefix));
+    return idx;
+  }
+
+  /// Recovers the far-side index of a link into known switch `b`, entered
+  /// via `entry_prefix`: the X sweep of §4.1 aimed at one switch.
+  std::optional<int> align(const Route& entry_prefix, std::size_t b) {
+    const Route back = simnet::reversed(prefixes_[b]);
+    for (const Turn x : TurnFeasibility::exploration_order(true)) {
+      Route probe = simnet::extended(entry_prefix, x);
+      probe.insert(probe.end(), back.begin(), back.end());
+      ++alignment_probes_;
+      if (engine_.echo_probe(probe)) {
+        return -x;  // entered b at b-frame index -x
+      }
+    }
+    return std::nullopt;
+  }
+
+  void explore(std::size_t self) {
+    const Route prefix = prefixes_[self];
+    TurnFeasibility feasibility;
+    for (const Turn t : TurnFeasibility::exploration_order(true)) {
+      if (!feasibility.feasible(t)) {
+        continue;
+      }
+      const Route entry = simnet::extended(prefix, t);
+      if (const auto id = engine_.identifying_switch_probe(entry)) {
+        feasibility.record_success(t);
+        const auto known = index_of_.find(*id);
+        if (known == index_of_.end()) {
+          // A genuinely new switch; this entry anchors its frame.
+          const std::size_t child = register_switch(*id, entry);
+          add_switch_edge(self, t, child, 0);
+          explore_queue_.push_back(child);
+        } else {
+          // A known switch (possibly this one, via a loopback cable):
+          // identity is free, the entry port is not.
+          const auto far_index = align(entry, known->second);
+          SANMAP_CHECK_MSG(far_index.has_value(),
+                           "alignment sweep failed for a known switch");
+          add_switch_edge(self, t, known->second, *far_index);
+        }
+        continue;
+      }
+      if (const auto name = engine_.host_probe(entry)) {
+        feasibility.record_success(t);
+        add_host_edge(self, t, *name);
+      }
+    }
+  }
+
+  void add_switch_edge(std::size_t a, int ia, std::size_t b, int ib) {
+    const auto key =
+        std::make_pair(std::make_pair(a, ia), std::make_pair(b, ib));
+    const auto mirror =
+        std::make_pair(std::make_pair(b, ib), std::make_pair(a, ia));
+    if (!switch_edges_.contains(key) && !switch_edges_.contains(mirror)) {
+      switch_edges_.insert(key);
+    }
+  }
+
+  void add_host_edge(std::size_t sw, int index, const std::string& name) {
+    const auto it = host_edges_.find(name);
+    if (it != host_edges_.end()) {
+      SANMAP_CHECK_MSG(it->second == std::make_pair(sw, index),
+                       "host " << name << " found on two different ports");
+      return;
+    }
+    host_edges_.emplace(name, std::make_pair(sw, index));
+  }
+
+  topo::Topology extract() const {
+    topo::Topology out;
+    if (prefixes_.empty()) {
+      const topo::NodeId me =
+          out.add_host(engine_.network().topology().name(
+              engine_.mapper_host()));
+      if (!direct_host_.empty()) {
+        out.connect(me, 0, out.add_host(direct_host_), 0);
+      }
+      return out;
+    }
+    std::vector<int> lo(prefixes_.size(), 0);
+    const auto widen = [&](std::size_t s, int index) {
+      lo[s] = std::min(lo[s], index);
+    };
+    for (const auto& e : switch_edges_) {
+      widen(e.first.first, e.first.second);
+      widen(e.second.first, e.second.second);
+    }
+    for (const auto& [name, at] : host_edges_) {
+      widen(at.first, at.second);
+    }
+    std::vector<topo::NodeId> node(prefixes_.size());
+    for (std::size_t s = 0; s < prefixes_.size(); ++s) {
+      node[s] = out.add_switch();
+    }
+    for (const auto& e : switch_edges_) {
+      out.connect(node[e.first.first], e.first.second - lo[e.first.first],
+                  node[e.second.first],
+                  e.second.second - lo[e.second.first]);
+    }
+    for (const auto& [name, at] : host_edges_) {
+      const topo::NodeId h = out.add_host(name);
+      out.connect(h, 0, node[at.first], at.second - lo[at.first]);
+    }
+    return out;
+  }
+
+  probe::ProbeEngine& engine_;
+  std::vector<Route> prefixes_;
+  std::unordered_map<topo::NodeId, std::size_t> index_of_;
+  std::vector<std::size_t> explore_queue_;
+  std::size_t head_ = 0;
+  std::set<std::pair<std::pair<std::size_t, int>, std::pair<std::size_t, int>>>
+      switch_edges_;
+  std::unordered_map<std::string, std::pair<std::size_t, int>> host_edges_;
+  std::string direct_host_;
+  std::uint64_t alignment_probes_ = 0;
+};
+
+}  // namespace
+
+IdMapper::IdMapper(probe::ProbeEngine& engine) : engine_(&engine) {
+  SANMAP_CHECK_MSG(
+      engine.network().extensions().self_identifying_switches,
+      "IdMapper needs self-identifying switch hardware "
+      "(simnet::HardwareExtensions)");
+  SANMAP_CHECK_MSG(engine.network().collision_model() ==
+                       simnet::CollisionModel::kCutThrough,
+                   "IdMapper's alignment probes require cut-through routing");
+}
+
+IdMapResult IdMapper::run() { return Runner(*engine_).run(); }
+
+}  // namespace sanmap::mapper

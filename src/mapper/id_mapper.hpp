@@ -1,0 +1,46 @@
+// Mapping with self-identifying switches — the architectural extension §6
+// discusses: "if a probe made it to a switch and back, it would carry a
+// unique identifier and the exploration process would be simpler."
+//
+// With identities free, there are no replicates: each switch is explored
+// exactly once, and a switch-probe's returned identity immediately resolves
+// which switch a port leads to. The paper also (correctly) cautions that
+// identities alone do "not completely solve the mapping problem": relative
+// port addressing still hides *where* a known switch was entered, so every
+// cross link (an edge to an already-known switch) costs an alignment sweep
+// of up to 14 comparison-style probes to recover the far port — exactly the
+// Myricom X-probe, but aimed at one known switch instead of all of them.
+//
+// Requires simnet::HardwareExtensions::self_identifying_switches and the
+// cut-through collision model (alignment probes, like Myricom comparisons,
+// would be unsound under circuit routing).
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.hpp"
+#include "probe/probe_engine.hpp"
+#include "topology/topology.hpp"
+
+namespace sanmap::mapper {
+
+struct IdMapResult {
+  topo::Topology map;
+  probe::ProbeCounters probes;
+  /// How many of the switch-category probes were alignment sweeps.
+  std::uint64_t alignment_probes = 0;
+  common::SimTime elapsed{};
+  std::size_t switches = 0;
+};
+
+class IdMapper {
+ public:
+  explicit IdMapper(probe::ProbeEngine& engine);
+
+  IdMapResult run();
+
+ private:
+  probe::ProbeEngine* engine_;
+};
+
+}  // namespace sanmap::mapper

@@ -1,0 +1,253 @@
+#include "mapper/incremental.hpp"
+
+#include <deque>
+#include <optional>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "mapper/explorer.hpp"
+#include "mapper/model_graph.hpp"
+
+namespace sanmap::mapper {
+
+namespace {
+
+/// Per-map-node routing data derived from the previous map: the probe
+/// prefix that enters the node and the map-port it enters through.
+struct Reach {
+  simnet::Route prefix;
+  topo::Port entry = 0;
+  bool reachable = false;
+};
+
+}  // namespace
+
+IncrementalMapper::IncrementalMapper(probe::ProbeEngine& engine,
+                                     topo::Topology previous_map,
+                                     IncrementalConfig config)
+    : engine_(&engine),
+      previous_(std::move(previous_map)),
+      config_(config) {
+  const auto& live = engine.network().topology();
+  const std::string& mapper_name = live.name(engine.mapper_host());
+  SANMAP_CHECK_MSG(previous_.find_host(mapper_name).has_value(),
+                   "previous map does not contain the mapper host "
+                       << mapper_name);
+}
+
+IncrementalResult IncrementalMapper::run() {
+  engine_->reset();
+  IncrementalResult result;
+
+  const std::string mapper_name =
+      engine_->network().topology().name(engine_->mapper_host());
+  const topo::NodeId map_mapper = *previous_.find_host(mapper_name);
+
+  // ---- derive prefixes and entry ports by BFS over the previous map -----
+  std::vector<Reach> reach(previous_.node_capacity());
+  reach[map_mapper].reachable = true;
+  std::deque<topo::NodeId> queue{map_mapper};
+  std::vector<topo::NodeId> switch_order;
+  while (!queue.empty()) {
+    const topo::NodeId n = queue.front();
+    queue.pop_front();
+    if (previous_.is_host(n) && n != map_mapper) {
+      continue;  // hosts do not forward
+    }
+    for (topo::Port p = 0; p < previous_.port_count(n); ++p) {
+      const auto far = previous_.peer(n, p);
+      if (!far || reach[far->node].reachable) {
+        continue;
+      }
+      Reach& r = reach[far->node];
+      r.reachable = true;
+      r.entry = far->port;
+      if (n == map_mapper) {
+        r.prefix = {};
+      } else {
+        r.prefix = simnet::extended(reach[n].prefix, p - reach[n].entry);
+      }
+      if (previous_.is_switch(far->node)) {
+        switch_order.push_back(far->node);
+        queue.push_back(far->node);
+      }
+    }
+  }
+
+  // ---- verification sweep ------------------------------------------------
+  // Switches incident to a discrepancy; their confirmed slot sets.
+  std::vector<bool> suspicious(previous_.node_capacity(), false);
+  std::vector<std::vector<bool>> confirmed(previous_.node_capacity());
+  const auto flag = [&](topo::NodeId s, const std::string& what) {
+    suspicious[s] = true;
+    SANMAP_LOG(kInfo, "incremental", what);
+    result.discrepancies.push_back(what);
+  };
+
+  for (const topo::NodeId s : switch_order) {
+    if (confirmed[s].empty()) {  // may already hold far-side confirmations
+      confirmed[s].assign(
+          static_cast<std::size_t>(previous_.port_count(s)), false);
+    }
+    const Reach& rs = reach[s];
+    for (topo::Port p = 0; p < previous_.port_count(s); ++p) {
+      const simnet::Turn turn = p - rs.entry;
+      const auto far = previous_.peer(s, p);
+      if (!far) {
+        // Recorded free: confirm that nothing new appeared here.
+        const auto r = engine_->probe(simnet::extended(rs.prefix, turn));
+        if (r.kind != probe::ResponseKind::kNothing) {
+          std::ostringstream oss;
+          oss << "new device on a recorded-free port of switch "
+              << previous_.name(s);
+          flag(s, oss.str());
+        }
+        continue;
+      }
+      if (p == rs.entry) {
+        continue;  // the wire we arrived on: verified from the other side
+                   // (or it is the mapper's own wire, exercised by every
+                   // probe we send)
+      }
+      if (far->node == s && far->port < p) {
+        continue;  // self-loop cable: verified once from its lower port
+      }
+      if (previous_.is_host(far->node)) {
+        const auto name =
+            engine_->host_probe(simnet::extended(rs.prefix, turn));
+        if (!name || *name != previous_.name(far->node)) {
+          std::ostringstream oss;
+          oss << "host " << previous_.name(far->node)
+              << " no longer answers on switch " << previous_.name(s);
+          flag(s, oss.str());
+        } else {
+          confirmed[s][static_cast<std::size_t>(p)] = true;
+        }
+        continue;
+      }
+      // Switch-to-switch wire: one echo probe out across the wire and back
+      // along the far switch's own prefix.
+      const Reach& rt = reach[far->node];
+      SANMAP_CHECK(rt.reachable);
+      simnet::Route echo = simnet::extended(rs.prefix, turn);
+      echo.push_back(rt.entry - far->port);
+      const simnet::Route back = simnet::reversed(rt.prefix);
+      echo.insert(echo.end(), back.begin(), back.end());
+      if (engine_->echo_probe(echo)) {
+        confirmed[s][static_cast<std::size_t>(p)] = true;
+        if (confirmed[far->node].empty()) {
+          confirmed[far->node].assign(
+              static_cast<std::size_t>(previous_.port_count(far->node)),
+              false);
+        }
+        confirmed[far->node][static_cast<std::size_t>(far->port)] = true;
+      } else {
+        std::ostringstream oss;
+        oss << "wire " << previous_.name(s) << ":" << p << " - "
+            << previous_.name(far->node) << ":" << far->port
+            << " failed its echo";
+        flag(s, oss.str());
+        flag(far->node, oss.str() + " (far side)");
+      }
+    }
+    // Entry wires count as confirmed once any probe through them returned;
+    // the sweep above sends several per switch, so mark them confirmed
+    // unless the switch itself was flagged.
+    confirmed[s][static_cast<std::size_t>(rs.entry)] = true;
+  }
+
+  result.verification_probes = engine_->counters().total();
+
+  if (result.discrepancies.empty()) {
+    result.unchanged = true;
+    result.map = previous_;
+    result.probes = engine_->counters();
+    result.elapsed = engine_->elapsed();
+    return result;
+  }
+  if (!config_.repair) {
+    result.map = previous_;
+    result.probes = engine_->counters();
+    result.elapsed = engine_->elapsed();
+    return result;
+  }
+
+  // ---- local repair -------------------------------------------------------
+  // Load the confirmed part of the map into a model graph. Slot indices are
+  // re-based to each switch's BFS entry port so they line up with the
+  // prefixes the explorer will extend.
+  ModelGraph model;
+  Explorer explorer(model, *engine_, config_.base);
+  std::vector<VertexId> vertex_of(previous_.node_capacity(), kInvalidVertex);
+  for (const topo::NodeId n : previous_.nodes()) {
+    if (previous_.is_host(n)) {
+      if (n != map_mapper) {
+        // A host is only as good as its (single) confirmed wire; a host
+        // whose wire failed verification may be gone — if it still exists
+        // somewhere, re-exploration will rediscover it fresh.
+        const auto far = previous_.peer(n, 0);
+        const bool wire_confirmed =
+            far && !confirmed[far->node].empty() &&
+            confirmed[far->node][static_cast<std::size_t>(far->port)];
+        if (!wire_confirmed) {
+          continue;
+        }
+      }
+      vertex_of[n] =
+          model.add_host_vertex(reach[n].prefix, previous_.name(n));
+      continue;
+    }
+    if (!reach[n].reachable) {
+      continue;  // unreachable stale fragments are dropped outright
+    }
+    vertex_of[n] = model.add_switch_vertex(reach[n].prefix);
+  }
+  for (const topo::WireId w : previous_.wires()) {
+    const topo::Wire& wire = previous_.wire(w);
+    const auto ok_end = [&](const topo::PortRef& end) {
+      if (vertex_of[end.node] == kInvalidVertex) {
+        return false;
+      }
+      if (previous_.is_host(end.node)) {
+        return true;
+      }
+      return !confirmed[end.node].empty() &&
+             confirmed[end.node][static_cast<std::size_t>(end.port)];
+    };
+    // Keep a wire only when both ends are live and confirmed (host wires
+    // are confirmed from the switch side; host ends carry no port state).
+    if (!ok_end(wire.a) || !ok_end(wire.b)) {
+      continue;
+    }
+    const auto base_of = [&](const topo::PortRef& end) {
+      return previous_.is_host(end.node) ? 0 : reach[end.node].entry;
+    };
+    model.add_edge(vertex_of[wire.a.node], wire.a.port - base_of(wire.a),
+                   vertex_of[wire.b.node], wire.b.port - base_of(wire.b));
+  }
+  model.stabilize();
+  // Mark intact switches explored; queue the suspicious ones for
+  // re-exploration (their confirmed slots survive and are skipped).
+  for (const topo::NodeId s : switch_order) {
+    if (vertex_of[s] == kInvalidVertex) {
+      continue;
+    }
+    if (suspicious[s]) {
+      explorer.push(vertex_of[s]);
+    } else {
+      model.mark_explored(vertex_of[s]);
+    }
+  }
+
+  MapResult repair;
+  explorer.run(repair);
+  model.stabilize();
+  model.prune();
+  result.map = model.extract();
+  result.probes = engine_->counters();
+  result.elapsed = engine_->elapsed();
+  return result;
+}
+
+}  // namespace sanmap::mapper

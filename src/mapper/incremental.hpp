@@ -1,0 +1,72 @@
+// Incremental remapping: verify an existing map cheaply, and repair it
+// locally when the network changed.
+//
+// The paper's system "periodically discovers the network topology" by
+// remapping from scratch. When nothing changed — the common case — a full
+// remap wastes hundreds of probes. This extension verifies the previous
+// map with roughly one probe per port:
+//
+//  * a switch-to-switch wire (s,p)-(t,q) is confirmed by ONE echo probe
+//    routed out to s, across the wire with the recorded turn, and back to
+//    the mapper along t's known path — it returns iff port p of s still
+//    reaches port q of t (turn mismatches from splices or recabling kill
+//    it);
+//  * a host wire is confirmed by a host probe whose answer must carry the
+//    same host name;
+//  * every recorded-free switch port is probed to confirm nothing new
+//    appeared there.
+//
+// All routes are derived from the previous map; since turns are port
+// *differences*, the map's unknown per-switch offsets cancel and the routes
+// are valid on the real network.
+//
+// On discrepancies, the repair phase reloads the confirmed part of the map
+// into a model graph, marks every switch incident to a discrepancy (plus
+// its neighbors' affected slots) unexplored, and reruns the standard
+// exploration — known-port skipping makes the re-exploration pay only for
+// what actually changed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapper/map_result.hpp"
+#include "probe/probe_engine.hpp"
+#include "topology/topology.hpp"
+
+namespace sanmap::mapper {
+
+struct IncrementalConfig {
+  MapperConfig base;
+  /// Repair locally on discrepancies; when false, run() stops after
+  /// verification (result.map is the previous map, possibly stale).
+  bool repair = true;
+};
+
+struct IncrementalResult {
+  topo::Topology map;
+  /// Verification found no discrepancies; `map` is the previous map.
+  bool unchanged = false;
+  /// Probes spent on the verification sweep alone.
+  std::uint64_t verification_probes = 0;
+  /// Human-readable descriptions of what verification caught.
+  std::vector<std::string> discrepancies;
+  probe::ProbeCounters probes;
+  common::SimTime elapsed{};
+};
+
+class IncrementalMapper {
+ public:
+  /// `previous_map` must contain the engine's mapper host (by name).
+  IncrementalMapper(probe::ProbeEngine& engine, topo::Topology previous_map,
+                    IncrementalConfig config);
+
+  IncrementalResult run();
+
+ private:
+  probe::ProbeEngine* engine_;
+  topo::Topology previous_;
+  IncrementalConfig config_;
+};
+
+}  // namespace sanmap::mapper

@@ -1,0 +1,57 @@
+// Configuration and result types shared by the mapping algorithms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "probe/probe_engine.hpp"
+#include "topology/topology.hpp"
+
+namespace sanmap::mapper {
+
+struct MapperConfig {
+  /// Probe-string length bound (§3.1.4's SearchDepth). The paper uses
+  /// Q + D + 1; benches compute it from the ground-truth topology via
+  /// topo::search_depth(). Must be >= 1.
+  int search_depth = 16;
+
+  /// §3.3's port-order heuristic: adaptive turn order plus skipping turns
+  /// that cannot land on a legal port for any consistent entry port.
+  bool port_order_heuristic = true;
+
+  /// Skip probing a turn whose slot already holds an edge inherited from a
+  /// merged replicate — the answer is already known.
+  bool skip_known_ports = true;
+
+  /// Record the Figure 8 growth series (one point per switch exploration).
+  bool record_trace = false;
+};
+
+/// One Figure 8 sample, taken after each switch exploration.
+struct TracePoint {
+  std::size_t exploration = 0;
+  std::size_t model_vertices = 0;
+  std::size_t model_edges = 0;
+  std::size_t frontier = 0;
+};
+
+struct MapResult {
+  /// The mapped network (hosts named; switch ports correct up to the
+  /// per-switch indexing offset). Theorem 1: isomorphic to N - F.
+  topo::Topology map;
+
+  /// Probe counts (Figure 6) as recorded by the probe engine.
+  probe::ProbeCounters probes;
+
+  /// Mapper-side virtual time (Figure 7).
+  common::SimTime elapsed{};
+
+  std::size_t explorations = 0;        // Figure 8 x-axis extent
+  std::size_t peak_model_vertices = 0; // the ~750-node peak for C+A+B
+  std::size_t merges = 0;
+  std::size_t pruned = 0;
+  std::vector<TracePoint> trace;
+};
+
+}  // namespace sanmap::mapper

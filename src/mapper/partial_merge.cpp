@@ -1,0 +1,38 @@
+#include "mapper/partial_merge.hpp"
+
+#include "mapper/model_graph.hpp"
+
+namespace sanmap::mapper {
+
+topo::Topology merge_partial_maps(const std::vector<topo::Topology>& parts,
+                                  PartialMergeStats* stats) {
+  ModelGraph model;
+  int merges = 0;
+  for (const topo::Topology& part : parts) {
+    // Load this part: one model vertex per node, the part's own port
+    // numbers as slot indices (a frame valid up to the per-switch offset).
+    std::vector<VertexId> vertex_of(part.node_capacity(), kInvalidVertex);
+    for (const topo::NodeId n : part.nodes()) {
+      vertex_of[n] = part.is_host(n)
+                         ? model.add_host_vertex({}, part.name(n))
+                         : model.add_switch_vertex({});
+    }
+    for (const topo::WireId w : part.wires()) {
+      const topo::Wire& wire = part.wire(w);
+      model.add_edge(vertex_of[wire.a.node], wire.a.port,
+                     vertex_of[wire.b.node], wire.b.port);
+    }
+    // Stabilize after each part so contradictions are attributed to the
+    // part that introduced them.
+    merges += model.stabilize();
+  }
+  const int pruned = 0;  // partial maps are evidence; nothing to prune
+  if (stats != nullptr) {
+    stats->loaded_vertices = model.vertex_capacity();
+    stats->merges = static_cast<std::size_t>(merges);
+    stats->pruned = static_cast<std::size_t>(pruned);
+  }
+  return model.extract();
+}
+
+}  // namespace sanmap::mapper

@@ -1,0 +1,52 @@
+#include "mapper/turn_feasibility.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sanmap::mapper {
+
+void TurnFeasibility::record_success(simnet::Turn turn) {
+  SANMAP_CHECK(turn >= simnet::kMinTurn && turn <= simnet::kMaxTurn);
+  min_success_ = std::min(min_success_, turn);
+  max_success_ = std::max(max_success_, turn);
+  SANMAP_CHECK_MSG(max_success_ - min_success_ <= topo::kSwitchPorts - 1,
+                   "successful turns span more than the port count");
+}
+
+int TurnFeasibility::entry_lo() const {
+  return min_success_ == topo::kSwitchPorts ? 0 : std::max(0, -min_success_);
+}
+
+int TurnFeasibility::entry_hi() const {
+  return max_success_ == -topo::kSwitchPorts
+             ? topo::kSwitchPorts - 1
+             : std::min<int>(topo::kSwitchPorts - 1,
+                             topo::kSwitchPorts - 1 - max_success_);
+}
+
+bool TurnFeasibility::feasible(simnet::Turn turn) const {
+  // Some e in [entry_lo, entry_hi] must give e + turn in [0, 7].
+  return turn >= -entry_hi() &&
+         turn <= topo::kSwitchPorts - 1 - entry_lo();
+}
+
+std::vector<simnet::Turn> TurnFeasibility::exploration_order(bool adaptive) {
+  std::vector<simnet::Turn> order;
+  order.reserve(2 * (topo::kSwitchPorts - 1));
+  if (adaptive) {
+    for (simnet::Turn t = 1; t <= simnet::kMaxTurn; ++t) {
+      order.push_back(t);
+      order.push_back(-t);
+    }
+  } else {
+    for (simnet::Turn t = simnet::kMinTurn; t <= simnet::kMaxTurn; ++t) {
+      if (t != 0) {
+        order.push_back(t);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace sanmap::mapper

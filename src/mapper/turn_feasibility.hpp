@@ -1,0 +1,50 @@
+// The §3.3 port-exploration heuristic, shared by the Berkeley and Myricom
+// mappers.
+//
+// A probe entering a switch at (unknown) absolute port e can only succeed
+// for turns t with e + t in {0..7}. Successful turns constrain e: every
+// success t implies -t <= e <= 7 - t. Turns infeasible for every remaining
+// candidate e are guaranteed to fail ("we eliminate probes only when we are
+// sure they will fail") and are skipped. Once two successes span the full
+// distance of 7, e is pinned and half the turn space drops out — the
+// paper's "once we find two turns separated by a distance of 7 ... we are
+// done".
+//
+// Failures carry no information ("probes that fail to generate a response
+// tell us nothing about the range of turns"), so only successes narrow.
+#pragma once
+
+#include <vector>
+
+#include "simnet/route.hpp"
+#include "topology/types.hpp"
+
+namespace sanmap::mapper {
+
+class TurnFeasibility {
+ public:
+  /// Records a turn known to lead to an existing port (probe success, or a
+  /// port already known from a merged replicate).
+  void record_success(simnet::Turn turn);
+
+  /// True when some entry port consistent with all successes so far would
+  /// make this turn land on a legal port.
+  [[nodiscard]] bool feasible(simnet::Turn turn) const;
+
+  /// Lowest / highest entry port still consistent with the successes.
+  [[nodiscard]] int entry_lo() const;
+  [[nodiscard]] int entry_hi() const;
+
+  /// The turn sequence to explore. With `adaptive` the order is
+  /// +1,-1,+2,-2,...,+7,-7 (small turns succeed for the most entry ports,
+  /// so they narrow the candidate range fastest); otherwise the paper's
+  /// pseudocode order -7..-1,+1..+7. Turn 0 is never explored (§3.1).
+  [[nodiscard]] static std::vector<simnet::Turn> exploration_order(
+      bool adaptive);
+
+ private:
+  simnet::Turn min_success_ = topo::kSwitchPorts;   // sentinel: none yet
+  simnet::Turn max_success_ = -topo::kSwitchPorts;  // sentinel: none yet
+};
+
+}  // namespace sanmap::mapper

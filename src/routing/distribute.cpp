@@ -1,0 +1,45 @@
+#include "routing/distribute.hpp"
+
+#include "common/check.hpp"
+
+namespace sanmap::routing {
+
+DistributionResult distribute_tables(simnet::Network& net,
+                                     const RoutingResult& routes,
+                                     topo::NodeId master) {
+  const topo::Topology& topo = net.topology();
+  SANMAP_CHECK(topo.node_alive(master) && topo.is_host(master));
+
+  DistributionResult result;
+  result.complete = true;
+  const auto& cost = net.cost();
+  for (const topo::NodeId host : topo.hosts()) {
+    if (host == master) {
+      continue;
+    }
+    // Serialize this interface's table: per route, a destination id (2
+    // bytes), a length byte, and one byte per turn.
+    std::size_t payload = 0;
+    for (const HostRoute* route : routes.table_for(host)) {
+      payload += 3 + route->turns.size();
+    }
+    result.bytes += payload;
+    ++result.messages;
+
+    // Ship it along the master's route to that host. The message is larger
+    // than a probe; account its serialization over the wire.
+    const HostRoute& path = routes.route(master, host);
+    const auto delivery = net.send(master, path.turns);
+    if (!delivery.delivered() || delivery.destination != host) {
+      result.complete = false;
+      result.elapsed += cost.send_overhead + cost.probe_timeout;
+      continue;
+    }
+    result.elapsed += cost.send_overhead + delivery.latency +
+                      cost.flit_time() * static_cast<std::int64_t>(payload) +
+                      cost.receive_overhead;
+  }
+  return result;
+}
+
+}  // namespace sanmap::routing

@@ -1,0 +1,36 @@
+// Route-table distribution — the last stage of §5.5: "derives mutually
+// deadlock-free routes from it and distributes them throughout the system."
+//
+// The master serializes each interface's route table (destination, length,
+// and the turn bytes per route) and ships it as in-band messages over its
+// own just-computed route to that host. Delivery is simulated through the
+// wormhole fabric, so a bad route table would fail its own distribution.
+#pragma once
+
+#include <cstddef>
+
+#include "common/sim_time.hpp"
+#include "routing/routes.hpp"
+#include "simnet/network.hpp"
+
+namespace sanmap::routing {
+
+struct DistributionResult {
+  /// One table message per destination interface (the master keeps its own
+  /// table locally).
+  std::size_t messages = 0;
+  /// Total serialized table bytes shipped.
+  std::size_t bytes = 0;
+  /// Master-side time: sequential sends plus per-message overheads.
+  common::SimTime elapsed{};
+  /// Every table message was delivered to the right interface.
+  bool complete = false;
+};
+
+/// Distributes per-host tables from `master` over `net` (which should be
+/// the mapped fabric the routes were computed on).
+DistributionResult distribute_tables(simnet::Network& net,
+                                     const RoutingResult& routes,
+                                     topo::NodeId master);
+
+}  // namespace sanmap::routing

@@ -1,0 +1,221 @@
+#include "routing/routes.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace sanmap::routing {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+
+/// Floyd-Warshall over one directed relation (up or down moves), with
+/// intermediate-node reconstruction.
+struct AllPairs {
+  std::vector<int> dist;  // n*n
+  std::vector<int> via;   // n*n; -1 = direct edge (or unreachable/self)
+  std::size_t n = 0;
+
+  [[nodiscard]] int d(std::size_t i, std::size_t j) const {
+    return dist[i * n + j];
+  }
+
+  void compute(std::size_t count,
+               const std::vector<std::vector<std::size_t>>& direct) {
+    n = count;
+    dist.assign(n * n, kInf);
+    via.assign(n * n, -1);
+    for (std::size_t i = 0; i < n; ++i) {
+      dist[i * n + i] = 0;
+      for (const std::size_t j : direct[i]) {
+        dist[i * n + j] = 1;
+      }
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const int dik = dist[i * n + k];
+        if (dik == kInf) {
+          continue;
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          if (dik + dist[k * n + j] < dist[i * n + j]) {
+            dist[i * n + j] = dik + dist[k * n + j];
+            via[i * n + j] = static_cast<int>(k);
+          }
+        }
+      }
+    }
+  }
+
+  /// Appends the node sequence strictly after `i` up to and including `j`.
+  void expand(std::size_t i, std::size_t j,
+              std::vector<std::size_t>& out) const {
+    if (i == j) {
+      return;
+    }
+    const int k = via[i * n + j];
+    if (k == -1) {
+      out.push_back(j);
+      return;
+    }
+    expand(i, static_cast<std::size_t>(k), out);
+    expand(static_cast<std::size_t>(k), j, out);
+  }
+};
+
+}  // namespace
+
+const HostRoute& RoutingResult::route(topo::NodeId src,
+                                      topo::NodeId dst) const {
+  const auto it = routes.find({src, dst});
+  SANMAP_CHECK_MSG(it != routes.end(),
+                   "no route from " << src << " to " << dst);
+  return it->second;
+}
+
+std::vector<const HostRoute*> RoutingResult::table_for(
+    topo::NodeId src) const {
+  std::vector<const HostRoute*> out;
+  for (const auto& [key, value] : routes) {
+    if (key.first == src) {
+      out.push_back(&value);
+    }
+  }
+  return out;
+}
+
+double RoutingResult::mean_hops() const {
+  if (routes.empty()) {
+    return 0.0;
+  }
+  double total = 0;
+  for (const auto& [key, value] : routes) {
+    total += value.hops();
+  }
+  return total / static_cast<double>(routes.size());
+}
+
+int RoutingResult::max_hops() const {
+  int best = 0;
+  for (const auto& [key, value] : routes) {
+    best = std::max(best, value.hops());
+  }
+  return best;
+}
+
+RoutingResult compute_updown_routes(const topo::Topology& topo,
+                                    const UpDownOptions& options,
+                                    std::uint64_t seed) {
+  RoutingResult result{UpDownOrientation(topo, options), {}};
+  const UpDownOrientation& orientation = result.orientation;
+  common::Rng rng(seed);
+
+  // Compact node indexing over live nodes.
+  const auto nodes = topo.nodes();
+  const std::size_t n = nodes.size();
+  std::vector<std::size_t> index_of(topo.node_capacity(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    index_of[nodes[i]] = i;
+  }
+
+  // Up/down adjacency, with the parallel-wire lists kept for load-balanced
+  // emission. Self-loop cables are excluded: no valid route uses them.
+  std::vector<std::vector<std::size_t>> up_adj(n);
+  std::vector<std::vector<std::size_t>> down_adj(n);
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<topo::WireId>>
+      wires_between;
+  for (const topo::WireId w : topo.wires()) {
+    const topo::Wire& wire = topo.wire(w);
+    if (wire.a.node == wire.b.node) {
+      continue;
+    }
+    const std::size_t ia = index_of[wire.a.node];
+    const std::size_t ib = index_of[wire.b.node];
+    wires_between[{std::min(ia, ib), std::max(ia, ib)}].push_back(w);
+    if (orientation.goes_up(w, wire.a.node)) {
+      up_adj[ia].push_back(ib);
+      down_adj[ib].push_back(ia);
+    } else {
+      up_adj[ib].push_back(ia);
+      down_adj[ia].push_back(ib);
+    }
+  }
+
+  AllPairs up;
+  up.compute(n, up_adj);
+  AllPairs down;
+  down.compute(n, down_adj);
+
+  // Host pairs: best apex combining an up prefix with a down suffix.
+  const auto hosts = topo.hosts();
+  for (const topo::NodeId src : hosts) {
+    for (const topo::NodeId dst : hosts) {
+      if (src == dst) {
+        continue;
+      }
+      const std::size_t si = index_of[src];
+      const std::size_t di = index_of[dst];
+      int best = kInf;
+      std::vector<std::size_t> apexes;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (up.d(si, k) == kInf || down.d(k, di) == kInf) {
+          continue;
+        }
+        const int total = up.d(si, k) + down.d(k, di);
+        if (total < best) {
+          best = total;
+          apexes.clear();
+        }
+        if (total == best) {
+          apexes.push_back(k);
+        }
+      }
+      SANMAP_CHECK_MSG(best < kInf, "no UP*/DOWN* route between hosts "
+                                        << topo.name(src) << " and "
+                                        << topo.name(dst));
+      // §5.5's load-balance freedom, applied to equal-cost apexes as well
+      // as parallel cables: spread traffic over the tied alternatives.
+      const std::size_t apex = rng.pick(apexes);
+      // Node sequence: src ... apex (up moves) ... dst (down moves).
+      std::vector<std::size_t> sequence{si};
+      up.expand(si, apex, sequence);
+      down.expand(apex, di, sequence);
+
+      HostRoute route;
+      route.nodes.reserve(sequence.size());
+      for (const std::size_t i : sequence) {
+        route.nodes.push_back(nodes[i]);
+      }
+      // Pick a wire per hop (uniformly among parallel cables of that hop's
+      // direction — both directions share the cable set).
+      for (std::size_t h = 0; h + 1 < sequence.size(); ++h) {
+        const auto key = std::make_pair(
+            std::min(sequence[h], sequence[h + 1]),
+            std::max(sequence[h], sequence[h + 1]));
+        const auto& candidates = wires_between.at(key);
+        route.wires.push_back(rng.pick(candidates));
+      }
+      // Emit the turn sequence: at each intermediate switch, the turn is
+      // the exit port minus the entry port (§2.2 relative addressing).
+      for (std::size_t h = 1; h < route.wires.size(); ++h) {
+        const topo::NodeId at = route.nodes[h];
+        const topo::Wire& in_wire = topo.wire(route.wires[h - 1]);
+        const topo::Wire& out_wire = topo.wire(route.wires[h]);
+        const topo::Port in_port = in_wire.opposite(route.nodes[h - 1]).port;
+        topo::Port out_port;
+        if (out_wire.a.node == at) {
+          out_port = out_wire.a.port;
+        } else {
+          out_port = out_wire.b.port;
+        }
+        route.turns.push_back(out_port - in_port);
+      }
+      result.routes.emplace(std::make_pair(src, dst), std::move(route));
+    }
+  }
+  return result;
+}
+
+}  // namespace sanmap::routing

@@ -1,0 +1,63 @@
+// All-pairs UP*/DOWN*-compliant route computation (§5.5).
+//
+// Following the paper, shortest compliant paths are computed with
+// Floyd-Warshall: once over the "up" digraph, once over the "down" digraph
+// (its reverse); a host-to-host route is the best up-prefix + down-suffix
+// through any apex. Where parallel cables join two switches, the emitter
+// picks among them at random for load balance.
+//
+// Routes are emitted both as hop paths (for the deadlock analysis) and as
+// source-route turn sequences ready for the network interface (§2.2
+// relative addressing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "routing/updown.hpp"
+#include "simnet/route.hpp"
+#include "topology/topology.hpp"
+
+namespace sanmap::routing {
+
+/// One computed host-to-host route.
+struct HostRoute {
+  /// The source-route turn sequence a NIC would prepend to a message.
+  simnet::Route turns;
+  /// Node path: src host, switches..., dst host.
+  std::vector<topo::NodeId> nodes;
+  /// Wires traversed; wires[i] connects nodes[i] to nodes[i+1].
+  std::vector<topo::WireId> wires;
+
+  [[nodiscard]] int hops() const { return static_cast<int>(wires.size()); }
+};
+
+struct RoutingResult {
+  UpDownOrientation orientation;
+  /// Routes for every ordered pair of distinct hosts.
+  std::map<std::pair<topo::NodeId, topo::NodeId>, HostRoute> routes;
+
+  [[nodiscard]] const HostRoute& route(topo::NodeId src,
+                                       topo::NodeId dst) const;
+
+  /// The per-source route table (what the paper distributes to each
+  /// network interface).
+  [[nodiscard]] std::vector<const HostRoute*> table_for(
+      topo::NodeId src) const;
+
+  /// Total and maximum hop counts — the usual route-quality summary.
+  [[nodiscard]] double mean_hops() const;
+  [[nodiscard]] int max_hops() const;
+};
+
+/// Computes UP*/DOWN* routes over a (mapped) topology. The topology must be
+/// connected with at least one switch and one host. `seed` drives the
+/// random choice among parallel cables.
+RoutingResult compute_updown_routes(const topo::Topology& topo,
+                                    const UpDownOptions& options = {},
+                                    std::uint64_t seed = 1);
+
+}  // namespace sanmap::routing

@@ -1,0 +1,76 @@
+// The virtual-clock cost model (DESIGN.md §6.4).
+//
+// Hardware constants come from the paper's §1.1: 550 ns worst-case switch
+// latency, 1.28 Gb/s links, 108 bytes of per-port buffering, 50 ms hardware
+// deadlock break, 55 ms blocked-port timeout. Software constants (per-probe
+// host overhead, probe timeout) are calibrated so master-mode mapping of
+// subcluster C lands near the paper's 248 ms; EXPERIMENTS.md records
+// paper-vs-measured.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.hpp"
+
+namespace sanmap::simnet {
+
+struct CostModel {
+  using SimTime = common::SimTime;
+
+  /// Worst-case switch fall-through latency (§1.1: 550 ns).
+  SimTime switch_latency = SimTime::ns(550);
+
+  /// Link data rate in gigabits per second (§1.1: 1.28 Gb/s).
+  double link_gbps = 1.28;
+
+  /// Per-message host software overhead on the sending side (user-level
+  /// active-message send through the SBUS-attached interface). Calibrated
+  /// so Berkeley master-mode mapping of subcluster C lands near the paper's
+  /// 248 ms (EXPERIMENTS.md).
+  SimTime send_overhead = SimTime::from_us(50.0);
+
+  /// Per-message host software overhead on the receiving side (interrupt or
+  /// poll, handler dispatch, reply generation).
+  SimTime receive_overhead = SimTime::from_us(50.0);
+
+  /// Mapper-side timeout charged for a probe that never generates a
+  /// response. The paper: "probes that do not generate responses are more
+  /// expensive than others because the message time-out period is longer
+  /// than the time of an average round-trip."
+  SimTime probe_timeout = SimTime::from_us(450.0);
+
+  /// Fixed message framing: header flit + CRC + tail (§1.1), plus payload.
+  int framing_flits = 3;
+  int payload_flits = 8;
+
+  /// Per-port buffering in flits (§1.1: 108 bytes, 1 flit = 1 byte).
+  int port_buffer_flits = 108;
+
+  /// Hardware deadlock detection and break interval (§1.1: 50 ms). Charged
+  /// when a cut-through worm deadlocks on itself.
+  SimTime deadlock_break = SimTime::ms(50);
+
+  /// Blocked-output-port timeout before the forward-reset message (§2.2:
+  /// 55 ms, "set in switch ROMs").
+  SimTime blocked_port_timeout = SimTime::ms(55);
+
+  /// Time for one flit (one byte) to cross a link.
+  [[nodiscard]] SimTime flit_time() const {
+    // bits per flit / (bits per second) in nanoseconds.
+    return SimTime::from_us(8.0 / (link_gbps * 1e3));
+  }
+
+  /// Total flits of a message carrying `routing_flits` turns.
+  [[nodiscard]] int message_flits(int routing_flits) const {
+    return framing_flits + routing_flits + payload_flits;
+  }
+
+  /// Pure network one-way latency of an unblocked message traversing
+  /// `hops` wires: per-hop switch fall-through plus pipeline fill.
+  [[nodiscard]] SimTime path_latency(int hops, int routing_flits) const {
+    return switch_latency * hops +
+           flit_time() * message_flits(routing_flits);
+  }
+};
+
+}  // namespace sanmap::simnet

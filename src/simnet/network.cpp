@@ -1,0 +1,217 @@
+#include "simnet/network.hpp"
+
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace sanmap::simnet {
+
+const char* to_string(DeliveryStatus status) {
+  switch (status) {
+    case DeliveryStatus::kDelivered:
+      return "delivered";
+    case DeliveryStatus::kIllegalTurn:
+      return "illegal-turn";
+    case DeliveryStatus::kNoSuchWire:
+      return "no-such-wire";
+    case DeliveryStatus::kHitHostTooSoon:
+      return "hit-a-host-too-soon";
+    case DeliveryStatus::kStrandedInNetwork:
+      return "stranded-in-network";
+    case DeliveryStatus::kSelfCollision:
+      return "self-collision";
+    case DeliveryStatus::kTrafficCollision:
+      return "traffic-collision";
+    case DeliveryStatus::kDropped:
+      return "dropped";
+    case DeliveryStatus::kCorrupted:
+      return "corrupted";
+  }
+  return "?";
+}
+
+const char* to_string(CollisionModel model) {
+  switch (model) {
+    case CollisionModel::kCircuit:
+      return "circuit";
+    case CollisionModel::kCutThrough:
+      return "cut-through";
+    case CollisionModel::kPacket:
+      return "packet";
+  }
+  return "?";
+}
+
+Network::Network(const topo::Topology& topo, CollisionModel collision,
+                 CostModel cost, FaultModel faults, std::uint64_t fault_seed,
+                 HardwareExtensions extensions)
+    : topo_(&topo),
+      collision_(collision),
+      cost_(cost),
+      faults_(faults),
+      extensions_(extensions),
+      rng_(fault_seed) {
+  SANMAP_CHECK(faults.traffic_intensity >= 0.0 &&
+               faults.traffic_intensity < 1.0);
+  SANMAP_CHECK(faults.drop_probability >= 0.0 &&
+               faults.drop_probability <= 1.0);
+  SANMAP_CHECK(faults.corrupt_probability >= 0.0 &&
+               faults.corrupt_probability <= 1.0);
+}
+
+namespace {
+
+/// Key for a directed channel: wire id plus direction bit.
+std::uint64_t channel_key(topo::WireId wire, bool a_to_b) {
+  return (static_cast<std::uint64_t>(wire) << 1) |
+         static_cast<std::uint64_t>(a_to_b);
+}
+
+}  // namespace
+
+DeliveryResult Network::send(topo::NodeId src_host, const Route& route,
+                             std::vector<topo::NodeId>* visited,
+                             common::SimTime at) {
+  SANMAP_CHECK_MSG(topo_->node_alive(src_host) && topo_->is_host(src_host),
+                   "send() requires a live source host");
+  SANMAP_CHECK_MSG(turns_in_range(route),
+                   "route contains a turn outside [-7, +7]");
+
+  ++counters_.messages;
+  topo::NodeId bounce_switch = topo::kInvalidNode;
+  const auto finish = [&](DeliveryStatus status, topo::NodeId where,
+                          int hops,
+                          common::SimTime latency) -> DeliveryResult {
+    ++counters_.by_status[static_cast<std::size_t>(status)];
+    counters_.wire_traversals += static_cast<std::uint64_t>(hops);
+    return DeliveryResult{status, where, hops, latency, bounce_switch};
+  };
+  if (visited) {
+    visited->clear();
+    visited->push_back(src_host);
+  }
+
+  // End-to-end fault injection: decided up front so counters and rng
+  // consumption stay deterministic regardless of path shape.
+  const bool inject_drop = faults_.drop_probability > 0.0 &&
+                           rng_.chance(faults_.drop_probability);
+  const bool inject_corrupt = faults_.corrupt_probability > 0.0 &&
+                              rng_.chance(faults_.corrupt_probability);
+
+  const int message_flits =
+      cost_.message_flits(static_cast<int>(route.size()));
+  const common::SimTime flit = cost_.flit_time();
+  const common::SimTime per_hop = cost_.switch_latency + flit;
+
+  // Worm state. For each directed channel: the hop index at which the head
+  // last crossed it (cut-through) / whether it is held (circuit).
+  std::unordered_map<std::uint64_t, int> last_crossing;
+  common::SimTime stall{};  // extra time spent waiting on our own tail
+
+  // Position: the message is about to leave `node` through the wire at
+  // `out_port`.
+  topo::NodeId node = src_host;
+  topo::Port out_port = 0;
+  int hop = 0;
+  std::size_t next_turn = 0;
+
+  for (;;) {
+    // -- traverse the wire at (node, out_port) -----------------------------
+    const auto wire_id = topo_->wire_at(node, out_port);
+    if (!wire_id) {
+      return finish(DeliveryStatus::kNoSuchWire, node, hop,
+                    per_hop * hop + stall);
+    }
+    const topo::Wire& wire = topo_->wire(*wire_id);
+    const topo::PortRef here{node, out_port};
+    const topo::PortRef far = wire.opposite(here);
+    const bool a_to_b = (here == wire.a);
+
+    // Foreign traffic on this channel?
+    if (faults_.traffic_intensity > 0.0 &&
+        rng_.chance(faults_.traffic_intensity)) {
+      // The worm blocks behind a foreign worm; the switch eventually forces
+      // a forward reset and the message is destroyed.
+      return finish(DeliveryStatus::kTrafficCollision, node, hop,
+                    per_hop * hop + stall + cost_.blocked_port_timeout);
+    }
+    if (traffic_ != nullptr) {
+      // Scheduled background worms: wait behind them; the forward reset
+      // destroys us only if the wait exceeds the blocked-port timeout.
+      const common::SimTime arrival = at + per_hop * hop + stall;
+      const common::SimTime free =
+          traffic_->free_at(*wire_id, a_to_b, arrival);
+      const common::SimTime wait = free - arrival;
+      if (wait > cost_.blocked_port_timeout) {
+        return finish(DeliveryStatus::kTrafficCollision, node, hop,
+                      per_hop * hop + stall + cost_.blocked_port_timeout);
+      }
+      stall += wait;
+    }
+
+    // Self-collision per the active model.
+    const auto key = channel_key(*wire_id, a_to_b);
+    const auto prior = last_crossing.find(key);
+    if (prior != last_crossing.end() &&
+        collision_ != CollisionModel::kPacket) {
+      if (collision_ == CollisionModel::kCircuit) {
+        // The circuit holds every channel of the whole path at once; a
+        // second use can never be granted.
+        return finish(DeliveryStatus::kSelfCollision, node, hop,
+                      per_hop * hop + stall + cost_.deadlock_break);
+      }
+      const int gap = hop - prior->second;
+      const auto natural_drain = per_hop * gap;
+      const auto worm_length = flit * message_flits;
+      if (natural_drain < worm_length) {
+        // The tail has not drained past this channel yet. The worm can
+        // still compress into the per-port buffering accumulated over the
+        // gap; if it does not fit, it deadlocks on itself.
+        const long buffer_capacity =
+            static_cast<long>(gap) * cost_.port_buffer_flits;
+        if (message_flits > buffer_capacity) {
+          return finish(DeliveryStatus::kSelfCollision, node, hop,
+                        per_hop * hop + stall + cost_.deadlock_break);
+        }
+        stall += worm_length - natural_drain;
+      }
+    }
+    last_crossing[key] = hop;
+    ++hop;
+    node = far.node;
+    if (visited) {
+      visited->push_back(node);
+    }
+
+    // -- the message is now entering `node` via far.port -------------------
+    if (next_turn == route.size()) {
+      // Routing flits exhausted: the message terminates here.
+      const auto latency = per_hop * hop + flit * message_flits + stall;
+      if (topo_->is_switch(node)) {
+        return finish(DeliveryStatus::kStrandedInNetwork, node, hop, latency);
+      }
+      if (inject_drop) {
+        return finish(DeliveryStatus::kDropped, node, hop, latency);
+      }
+      if (inject_corrupt) {
+        return finish(DeliveryStatus::kCorrupted, node, hop, latency);
+      }
+      return finish(DeliveryStatus::kDelivered, node, hop, latency);
+    }
+    if (topo_->is_host(node)) {
+      return finish(DeliveryStatus::kHitHostTooSoon, node, hop,
+                    per_hop * hop + stall);
+    }
+    const Turn turn = route[next_turn++];
+    if (turn == 0 && bounce_switch == topo::kInvalidNode) {
+      bounce_switch = node;
+    }
+    out_port = far.port + turn;
+    if (out_port < 0 || out_port >= topo_->port_count(node)) {
+      return finish(DeliveryStatus::kIllegalTurn, node, hop,
+                    per_hop * hop + stall);
+    }
+  }
+}
+
+}  // namespace sanmap::simnet

@@ -1,0 +1,182 @@
+#include "simnet/traffic.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+#include "common/check.hpp"
+
+namespace sanmap::simnet {
+
+namespace {
+
+std::uint64_t channel_key(topo::WireId wire, bool a_to_b) {
+  return (static_cast<std::uint64_t>(wire) << 1) |
+         static_cast<std::uint64_t>(a_to_b);
+}
+
+/// Shortest-path (BFS) source route between two hosts; nullopt if
+/// unreachable. Mirrors the turn emission of §2.2: the first hop leaves the
+/// source host, each subsequent hop contributes (out port - in port).
+std::optional<Route> shortest_route(const topo::Topology& topo,
+                                    topo::NodeId src, topo::NodeId dst) {
+  // BFS over nodes recording the wire used to reach each.
+  std::vector<topo::WireId> via(topo.node_capacity(), topo::kInvalidWire);
+  std::vector<topo::NodeId> prev(topo.node_capacity(), topo::kInvalidNode);
+  std::vector<bool> seen(topo.node_capacity(), false);
+  std::deque<topo::NodeId> queue{src};
+  seen[src] = true;
+  while (!queue.empty() && !seen[dst]) {
+    const topo::NodeId n = queue.front();
+    queue.pop_front();
+    if (topo.is_host(n) && n != src) {
+      continue;  // messages cannot transit hosts
+    }
+    for (topo::Port p = 0; p < topo.port_count(n); ++p) {
+      const auto w = topo.wire_at(n, p);
+      if (!w) {
+        continue;
+      }
+      const topo::PortRef far = topo.wire(*w).opposite(topo::PortRef{n, p});
+      if (far.node != n && !seen[far.node]) {
+        seen[far.node] = true;
+        via[far.node] = *w;
+        prev[far.node] = n;
+        queue.push_back(far.node);
+      }
+    }
+  }
+  if (!seen[dst]) {
+    return std::nullopt;
+  }
+  // Reconstruct the wire chain, then emit turns.
+  std::vector<topo::WireId> wires;
+  std::vector<topo::NodeId> nodes{dst};
+  for (topo::NodeId at = dst; at != src; at = prev[at]) {
+    wires.push_back(via[at]);
+    nodes.push_back(prev[at]);
+  }
+  std::reverse(wires.begin(), wires.end());
+  std::reverse(nodes.begin(), nodes.end());
+  Route turns;
+  for (std::size_t h = 1; h < wires.size(); ++h) {
+    const topo::NodeId sw = nodes[h];
+    const topo::Port in_port =
+        topo.wire(wires[h - 1]).opposite(nodes[h - 1]).port;
+    const topo::Wire& out = topo.wire(wires[h]);
+    const topo::Port out_port =
+        out.a.node == sw ? out.a.port : out.b.port;
+    turns.push_back(out_port - in_port);
+  }
+  return turns;
+}
+
+}  // namespace
+
+bool TrafficSchedule::add_flow(const topo::Topology& topo, topo::NodeId src,
+                               const Route& route, common::SimTime start,
+                               const CostModel& cost, int payload_flits) {
+  SANMAP_CHECK(!finalized_);
+  SANMAP_CHECK(topo.node_alive(src) && topo.is_host(src));
+  // Walk the route collecting channels; bail (without reserving) on any
+  // failure — a destroyed flow holds nothing for long and is ignored.
+  std::vector<std::uint64_t> channels;
+  topo::NodeId node = src;
+  topo::Port out_port = 0;
+  std::size_t next_turn = 0;
+  for (;;) {
+    const auto wire_id = topo.wire_at(node, out_port);
+    if (!wire_id) {
+      return false;
+    }
+    const topo::Wire& wire = topo.wire(*wire_id);
+    const topo::PortRef here{node, out_port};
+    const topo::PortRef far = wire.opposite(here);
+    channels.push_back(channel_key(*wire_id, here == wire.a));
+    node = far.node;
+    if (next_turn == route.size()) {
+      if (!topo.is_host(node)) {
+        return false;  // stranded
+      }
+      break;
+    }
+    if (topo.is_host(node)) {
+      return false;  // hit a host too soon
+    }
+    out_port = far.port + route[next_turn++];
+    if (out_port < 0 || out_port >= topo.port_count(node)) {
+      return false;  // illegal turn
+    }
+  }
+
+  const int flits =
+      cost.framing_flits + static_cast<int>(route.size()) + payload_flits;
+  const common::SimTime per_hop = cost.switch_latency + cost.flit_time();
+  const common::SimTime hold = cost.flit_time() * flits + per_hop;
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const common::SimTime begin = start + per_hop * static_cast<int>(i);
+    by_channel_[channels[i]].push_back(Interval{begin, begin + hold});
+    ++reservations_;
+  }
+  ++flows_;
+  return true;
+}
+
+void TrafficSchedule::finalize() {
+  for (auto& [key, intervals] : by_channel_) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.begin < b.begin;
+              });
+  }
+  finalized_ = true;
+}
+
+common::SimTime TrafficSchedule::free_at(topo::WireId wire, bool a_to_b,
+                                         common::SimTime t) const {
+  SANMAP_CHECK_MSG(finalized_, "TrafficSchedule::finalize() not called");
+  const auto it = by_channel_.find(channel_key(wire, a_to_b));
+  if (it == by_channel_.end()) {
+    return t;
+  }
+  common::SimTime free = t;
+  for (const Interval& interval : it->second) {
+    if (interval.begin > free) {
+      break;  // sorted by begin: nothing later can cover `free`
+    }
+    if (interval.end > free) {
+      free = interval.end;  // wait behind this worm, then re-check
+    }
+  }
+  return free;
+}
+
+std::size_t add_random_traffic(TrafficSchedule& schedule,
+                               const topo::Topology& topo, std::size_t count,
+                               common::SimTime horizon, common::Rng& rng,
+                               const CostModel& cost, int payload_flits) {
+  const auto hosts = topo.hosts();
+  if (hosts.size() < 2) {
+    return 0;
+  }
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const topo::NodeId src = rng.pick(hosts);
+    topo::NodeId dst = src;
+    while (dst == src) {
+      dst = rng.pick(hosts);
+    }
+    const auto route = shortest_route(topo, src, dst);
+    if (!route) {
+      continue;
+    }
+    const auto start = common::SimTime::from_us(
+        rng.uniform(0.0, horizon.to_us()));
+    if (schedule.add_flow(topo, src, *route, start, cost, payload_flits)) {
+      ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace sanmap::simnet

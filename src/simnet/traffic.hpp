@@ -1,0 +1,72 @@
+// Interval-based application cross-traffic.
+//
+// FaultModel::traffic_intensity models foreign traffic as per-hop Bernoulli
+// noise; this schedule models it as actual worms: each background flow
+// occupies every directed channel along its path for a concrete time
+// window. A probe arriving at a busy channel *waits* behind the worm —
+// probes are delayed, not instantly destroyed — and only dies (forward
+// reset) if the wait would exceed the 55 ms blocked-port timeout. This is
+// the fidelity §6's online-mapping question actually needs: losses come in
+// time-correlated bursts, and most encounters just cost latency.
+//
+// Traffic-on-traffic blocking is not modeled (flows are scheduled as if
+// alone); at the utilizations of interest the first-order effect on probes
+// dominates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "simnet/cost_model.hpp"
+#include "simnet/route.hpp"
+#include "topology/topology.hpp"
+
+namespace sanmap::simnet {
+
+class TrafficSchedule {
+ public:
+  TrafficSchedule() = default;
+
+  /// Walks `route` from `src` and reserves each directed channel it crosses
+  /// from `start`. Returns false (adding nothing) if the route does not
+  /// complete — dead flows leave no occupancy.
+  bool add_flow(const topo::Topology& topo, topo::NodeId src,
+                const Route& route, common::SimTime start,
+                const CostModel& cost, int payload_flits);
+
+  /// Must be called after the last add_flow and before queries.
+  void finalize();
+
+  /// The earliest instant >= t at which the channel is free (chains across
+  /// back-to-back occupancies).
+  [[nodiscard]] common::SimTime free_at(topo::WireId wire, bool a_to_b,
+                                        common::SimTime t) const;
+
+  [[nodiscard]] std::size_t flows() const { return flows_; }
+  [[nodiscard]] std::size_t reservations() const { return reservations_; }
+
+ private:
+  struct Interval {
+    common::SimTime begin;
+    common::SimTime end;
+  };
+
+  std::map<std::uint64_t, std::vector<Interval>> by_channel_;
+  std::size_t flows_ = 0;
+  std::size_t reservations_ = 0;
+  bool finalized_ = false;
+};
+
+/// Generates `count` background flows between uniformly random distinct
+/// host pairs, with start times uniform over [0, horizon) and shortest-path
+/// (BFS) routes; flows whose path cannot be expressed are skipped. Returns
+/// the number of flows actually scheduled.
+std::size_t add_random_traffic(TrafficSchedule& schedule,
+                               const topo::Topology& topo, std::size_t count,
+                               common::SimTime horizon, common::Rng& rng,
+                               const CostModel& cost, int payload_flits);
+
+}  // namespace sanmap::simnet

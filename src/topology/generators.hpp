@@ -1,0 +1,120 @@
+// Topology generators.
+//
+// The NOW subcluster generators reproduce the component inventory of the
+// paper's Figure 3 exactly:
+//
+//   subcluster  interfaces  switches  links
+//   A           34          13        64
+//   B           30          14        65
+//   C           36          13        64
+//
+// Each subcluster is an incomplete fat tree of 8-port switches in three
+// levels (leaf / middle / root) with the irregularities the paper calls out:
+// subcluster C's middle leaf switch has only two uplinks instead of three
+// ("the third was faulty and removed, but never replaced"), every level-2/3
+// switch has unused ports, and a distinguished utility host hangs directly
+// off a root switch.
+//
+// now_cluster() composes A, B and C with root-to-root trunk cables into the
+// 100-node system of Figure 5. Note: the paper's headline of 193 links
+// equals the Fig. 3 subcluster sum exactly, which implies the authors
+// attributed trunk cabling to subcluster budgets; we keep each standalone
+// subcluster at its published count and add the trunks explicitly (4 cables,
+// so the composed system has 197 links — within 2% and shape-preserving;
+// see EXPERIMENTS.md).
+//
+// The remaining generators build the classic interconnects of §6 plus
+// random irregular networks for property tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "topology/topology.hpp"
+
+namespace sanmap::topo {
+
+/// Which NOW subcluster to build.
+enum class Subcluster { kA, kB, kC };
+
+/// One NOW subcluster per the Fig. 3 inventory. `host_prefix` prefixes host
+/// names so composed clusters keep names unique (hosts are "A.h0", ...;
+/// the utility host is "<prefix>.util").
+Topology now_subcluster(Subcluster which, const std::string& host_prefix);
+
+/// Returns the published Fig. 3 inventory for a subcluster:
+/// {interfaces, switches, links}.
+struct Inventory {
+  std::size_t interfaces = 0;
+  std::size_t switches = 0;
+  std::size_t links = 0;
+};
+Inventory now_inventory(Subcluster which);
+
+/// Options for composing the full NOW.
+struct NowOptions {
+  bool include_a = true;
+  bool include_b = true;
+  bool include_c = true;
+  /// Root-to-root trunk cables between each adjacent pair of included
+  /// subclusters (C–A, A–B, C–B as available).
+  int trunks_per_pair = 2;
+  /// Extra shared root switches joining all subcluster roots ("additional
+  /// switches can be added to increase the number of roots", Fig. 5).
+  int extra_roots = 0;
+};
+
+/// The composed NOW cluster. With defaults: 100 interfaces, 40 switches.
+Topology now_cluster(const NowOptions& options = {});
+
+/// The C, C+A, C+A+B growth sequence used by the paper's evaluation tables.
+enum class NowSystem { kC, kCA, kCAB };
+Topology now_system(NowSystem system);
+const char* to_string(NowSystem system);
+
+/// d-dimensional hypercube of switches (d <= 7), with `hosts_per_switch`
+/// hosts on each switch (hosts_per_switch <= 8 - d).
+Topology hypercube(int dim, int hosts_per_switch);
+
+/// w x h mesh of switches; each switch gets `hosts_per_switch` hosts
+/// (fabric uses up to 4 ports, so hosts_per_switch <= 4).
+Topology mesh(int width, int height, int hosts_per_switch);
+
+/// w x h torus (wraparound mesh); same port budget as mesh. Width and
+/// height must be >= 3 so wrap links are distinct from mesh links.
+Topology torus(int width, int height, int hosts_per_switch);
+
+/// Ring of `n` switches with `hosts_per_switch` hosts each (n >= 3).
+Topology ring(int num_switches, int hosts_per_switch);
+
+/// One central switch with up to 7 leaf switches, hosts on the leaves;
+/// a small, easily hand-checkable tree.
+Topology star(int leaves, int hosts_per_leaf);
+
+/// A k-ary fat-tree-like topology: `levels` levels of switches, each leaf
+/// switch carrying `hosts_per_leaf` hosts, each non-root switch with
+/// `uplinks` links to the level above (spread round-robin).
+struct FatTreeOptions {
+  int levels = 3;
+  int leaf_switches = 8;
+  int switches_per_upper_level = 4;
+  int hosts_per_leaf = 4;
+  int uplinks = 2;
+};
+Topology fat_tree(const FatTreeOptions& options);
+
+/// Random connected irregular network: `num_switches` switches in a random
+/// spanning tree plus `extra_links` random extra switch-switch links, and
+/// `num_hosts` hosts attached to random switches with free ports. All port
+/// assignments are randomized — exercising non-contiguous port usage.
+Topology random_irregular(int num_switches, int num_hosts, int extra_links,
+                          common::Rng& rng);
+
+/// A network with a guaranteed switch-bridge separating `tail_switches`
+/// host-free switches from the main body — i.e. F is non-empty and the
+/// mapper must produce N - F (Theorem 1).
+Topology with_switch_tail(int body_switches, int body_hosts,
+                          int tail_switches, common::Rng& rng);
+
+}  // namespace sanmap::topo

@@ -1,0 +1,265 @@
+#include "topology/isomorphism.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace sanmap::topo {
+
+namespace {
+
+/// Cheap per-node invariant: (kind, degree, sorted multiset of neighbor
+/// (kind, degree) pairs). Nodes with different signatures can never match.
+struct Signature {
+  NodeKind kind;
+  int degree;
+  std::vector<std::pair<NodeKind, int>> neighborhood;
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+Signature signature_of(const Topology& topo, NodeId n) {
+  Signature sig{topo.kind(n), topo.degree(n), {}};
+  for (const PortRef& nb : topo.neighbors(n)) {
+    sig.neighborhood.emplace_back(topo.kind(nb.node), topo.degree(nb.node));
+  }
+  std::sort(sig.neighborhood.begin(), sig.neighborhood.end());
+  return sig;
+}
+
+/// Occupied-port bitmask of a node.
+unsigned occupied_mask(const Topology& topo, NodeId n) {
+  unsigned mask = 0;
+  for (Port p = 0; p < topo.port_count(n); ++p) {
+    if (topo.wire_at(n, p)) {
+      mask |= 1u << static_cast<unsigned>(p);
+    }
+  }
+  return mask;
+}
+
+/// Multiplicity of wires between two (possibly equal) nodes. A self-loop
+/// counts once.
+int multiplicity(const Topology& topo, NodeId u, NodeId v) {
+  int count = 0;
+  for (const WireId w : topo.wires()) {
+    const Wire& wire = topo.wire(w);
+    const NodeId x = wire.a.node;
+    const NodeId y = wire.b.node;
+    if ((x == u && y == v) || (x == v && y == u)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+class Matcher {
+ public:
+  Matcher(const Topology& a, const Topology& b, const IsoOptions& options)
+      : a_(a), b_(b), options_(options) {}
+
+  std::optional<Isomorphism> run() {
+    if (a_.num_hosts() != b_.num_hosts() ||
+        a_.num_switches() != b_.num_switches() ||
+        a_.num_wires() != b_.num_wires()) {
+      return std::nullopt;
+    }
+
+    sig_a_.resize(a_.node_capacity());
+    for (const NodeId n : a_.nodes()) {
+      sig_a_[n] = signature_of(a_, n);
+    }
+    sig_b_.resize(b_.node_capacity());
+    for (const NodeId n : b_.nodes()) {
+      sig_b_[n] = signature_of(b_, n);
+    }
+
+    order_ = connectivity_order();
+    to_.assign(a_.node_capacity(), kInvalidNode);
+    offset_.assign(a_.node_capacity(), 0);
+    used_b_.assign(b_.node_capacity(), false);
+
+    if (!extend(0)) {
+      return std::nullopt;
+    }
+    return Isomorphism{to_, offset_};
+  }
+
+ private:
+  /// Live nodes of `a` ordered so each node (after the first of its
+  /// component) is adjacent to an earlier one — keeps the backtracking
+  /// tightly constrained.
+  std::vector<NodeId> connectivity_order() const {
+    std::vector<NodeId> order;
+    std::vector<bool> seen(a_.node_capacity(), false);
+    // Seed each component from a host when possible (hosts are the anchors
+    // when match_host_names is on).
+    std::vector<NodeId> seeds = a_.hosts();
+    for (const NodeId n : a_.nodes()) {
+      seeds.push_back(n);
+    }
+    for (const NodeId seed : seeds) {
+      if (seen[seed]) {
+        continue;
+      }
+      std::deque<NodeId> queue{seed};
+      seen[seed] = true;
+      while (!queue.empty()) {
+        const NodeId n = queue.front();
+        queue.pop_front();
+        order.push_back(n);
+        for (const PortRef& nb : a_.neighbors(n)) {
+          if (!seen[nb.node]) {
+            seen[nb.node] = true;
+            queue.push_back(nb.node);
+          }
+        }
+      }
+    }
+    return order;
+  }
+
+  /// Candidate b-nodes for a-node v.
+  std::vector<NodeId> candidates(NodeId v) const {
+    std::vector<NodeId> out;
+    if (a_.is_host(v) && options_.match_host_names) {
+      if (const auto match = b_.find_host(a_.name(v))) {
+        if (!used_b_[*match] && sig_b_[*match] == sig_a_[v]) {
+          out.push_back(*match);
+        }
+      }
+      return out;
+    }
+    for (const NodeId w : b_.nodes()) {
+      if (!used_b_[w] && b_.kind(w) == a_.kind(v) &&
+          sig_b_[w] == sig_a_[v]) {
+        out.push_back(w);
+      }
+    }
+    return out;
+  }
+
+  /// Port offsets o such that v's occupied ports shifted by o equal w's
+  /// occupied ports.
+  std::vector<Port> offset_candidates(NodeId v, NodeId w) const {
+    if (options_.port_mode == IsoOptions::PortMode::kIgnore) {
+      return {0};
+    }
+    if (options_.port_mode == IsoOptions::PortMode::kExact) {
+      return occupied_mask(a_, v) == occupied_mask(b_, w)
+                 ? std::vector<Port>{0}
+                 : std::vector<Port>{};
+    }
+    std::vector<Port> out;
+    const unsigned mask_v = occupied_mask(a_, v);
+    const unsigned mask_w = occupied_mask(b_, w);
+    const Port ports = a_.port_count(v);
+    for (Port o = -(ports - 1); o <= ports - 1; ++o) {
+      const unsigned shifted =
+          (o >= 0) ? (mask_v << static_cast<unsigned>(o))
+                   : (mask_v >> static_cast<unsigned>(-o));
+      // The shift must not lose bits (non-modular port space) and must land
+      // exactly on w's occupancy.
+      const bool lossless =
+          (o >= 0)
+              ? (shifted >> static_cast<unsigned>(o)) == mask_v
+              : (shifted << static_cast<unsigned>(-o)) == mask_v;
+      if (lossless && shifted == mask_w &&
+          shifted < (1u << static_cast<unsigned>(ports))) {
+        out.push_back(o);
+      }
+    }
+    return out;
+  }
+
+  /// Checks every wire of v whose far end is already mapped.
+  bool consistent(NodeId v, NodeId w, Port offset_v) const {
+    if (options_.port_mode == IsoOptions::PortMode::kIgnore) {
+      for (const PortRef& nb : a_.neighbors(v)) {
+        const NodeId u = nb.node;
+        if (u != v && to_[u] == kInvalidNode) {
+          continue;
+        }
+        const NodeId mapped_u = (u == v) ? w : to_[u];
+        if (multiplicity(a_, v, u) != multiplicity(b_, w, mapped_u)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    for (Port p = 0; p < a_.port_count(v); ++p) {
+      const auto far = a_.peer(v, p);
+      if (!far) {
+        continue;
+      }
+      const NodeId u = far->node;
+      const bool u_mapped = (u == v) || to_[u] != kInvalidNode;
+      if (!u_mapped) {
+        continue;
+      }
+      const NodeId mapped_u = (u == v) ? w : to_[u];
+      const Port offset_u = (u == v) ? offset_v : offset_[u];
+      const Port p_b = p + offset_v;
+      if (p_b < 0 || p_b >= b_.port_count(w)) {
+        return false;
+      }
+      const auto far_b = b_.peer(w, p_b);
+      if (!far_b || far_b->node != mapped_u ||
+          far_b->port != far->port + offset_u) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool extend(std::size_t index) {
+    if (index == order_.size()) {
+      return true;
+    }
+    const NodeId v = order_[index];
+    for (const NodeId w : candidates(v)) {
+      for (const Port o : offset_candidates(v, w)) {
+        if (!consistent(v, w, o)) {
+          continue;
+        }
+        to_[v] = w;
+        offset_[v] = o;
+        used_b_[w] = true;
+        if (extend(index + 1)) {
+          return true;
+        }
+        to_[v] = kInvalidNode;
+        offset_[v] = 0;
+        used_b_[w] = false;
+      }
+    }
+    return false;
+  }
+
+  const Topology& a_;
+  const Topology& b_;
+  const IsoOptions& options_;
+  std::vector<Signature> sig_a_;
+  std::vector<Signature> sig_b_;
+  std::vector<NodeId> order_;
+  std::vector<NodeId> to_;
+  std::vector<Port> offset_;
+  std::vector<bool> used_b_;
+};
+
+}  // namespace
+
+std::optional<Isomorphism> find_isomorphism(const Topology& a,
+                                            const Topology& b,
+                                            const IsoOptions& options) {
+  return Matcher(a, b, options).run();
+}
+
+bool isomorphic(const Topology& a, const Topology& b,
+                const IsoOptions& options) {
+  return find_isomorphism(a, b, options).has_value();
+}
+
+}  // namespace sanmap::topo

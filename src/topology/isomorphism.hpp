@@ -1,0 +1,52 @@
+// Graph isomorphism between topologies — the correctness oracle for the
+// mapping algorithm (Theorem 1: M/L is isomorphic to N - F).
+//
+// Because switches use *relative* port addressing, the mapper can recover a
+// switch's port numbers only up to a constant per-switch offset (the paper's
+// "indexing offset", Definition 1). The default port mode therefore accepts
+// a bijection that shifts each switch's ports by some integer (no wrap —
+// port arithmetic in this network is non-modular).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace sanmap::topo {
+
+struct IsoOptions {
+  /// Hosts must map to the host with the identical name (hosts are uniquely
+  /// identified in this system, §2.3). Disable for anonymous-host matching.
+  bool match_host_names = true;
+
+  enum class PortMode {
+    /// Ports must match exactly.
+    kExact,
+    /// Each switch's ports may be shifted by a per-switch constant offset.
+    kUpToOffset,
+    /// Ports are ignored; only the multigraph structure must match.
+    kIgnore,
+  };
+  PortMode port_mode = PortMode::kUpToOffset;
+};
+
+/// A witness isomorphism: to[node id in a] = node id in b (kInvalidNode in
+/// dead/unused slots).
+struct Isomorphism {
+  std::vector<NodeId> to;
+  /// Per-a-node port offset (b_port = a_port + offset); 0 except possibly
+  /// for switches in kUpToOffset mode.
+  std::vector<Port> offset;
+};
+
+/// Finds an isomorphism from a to b, or nullopt.
+std::optional<Isomorphism> find_isomorphism(const Topology& a,
+                                            const Topology& b,
+                                            const IsoOptions& options = {});
+
+/// Convenience wrapper.
+bool isomorphic(const Topology& a, const Topology& b,
+                const IsoOptions& options = {});
+
+}  // namespace sanmap::topo

@@ -1,0 +1,123 @@
+#include "topology/serialize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace sanmap::topo {
+
+void write_topology(std::ostream& os, const Topology& topo) {
+  os << "# sanmap topology v1\n";
+  // Nodes are written in id order so that parsing a dense topology assigns
+  // the same ids back (read(write(t)) is structurally equal to t.compacted()).
+  for (const NodeId n : topo.nodes()) {
+    os << (topo.is_host(n) ? "host " : "switch ") << topo.name(n) << '\n';
+  }
+  for (const WireId w : topo.wires()) {
+    const Wire& wire = topo.wire(w);
+    os << "wire " << topo.name(wire.a.node) << ' ' << wire.a.port << ' '
+       << topo.name(wire.b.node) << ' ' << wire.b.port << '\n';
+  }
+}
+
+std::string to_text(const Topology& topo) {
+  std::ostringstream oss;
+  write_topology(oss, topo);
+  return oss.str();
+}
+
+Topology read_topology(std::istream& is) {
+  Topology topo;
+  std::map<std::string, NodeId> by_name;
+  std::string line;
+  int line_number = 0;
+  const auto fail = [&](const std::string& message) {
+    throw std::runtime_error("topology parse error at line " +
+                             std::to_string(line_number) + ": " + message);
+  };
+  while (std::getline(is, line)) {
+    ++line_number;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword) || keyword[0] == '#') {
+      continue;
+    }
+    if (keyword == "host" || keyword == "switch") {
+      std::string node_name;
+      if (!(ls >> node_name)) {
+        fail("expected a node name");
+      }
+      if (by_name.contains(node_name)) {
+        fail("duplicate node name: " + node_name);
+      }
+      const NodeId id = keyword == "host" ? topo.add_host(node_name)
+                                          : topo.add_switch(node_name);
+      by_name.emplace(node_name, id);
+    } else if (keyword == "wire") {
+      std::string name_a;
+      std::string name_b;
+      Port port_a = 0;
+      Port port_b = 0;
+      if (!(ls >> name_a >> port_a >> name_b >> port_b)) {
+        fail("expected: wire <name> <port> <name> <port>");
+      }
+      const auto a = by_name.find(name_a);
+      const auto b = by_name.find(name_b);
+      if (a == by_name.end()) {
+        fail("unknown node: " + name_a);
+      }
+      if (b == by_name.end()) {
+        fail("unknown node: " + name_b);
+      }
+      try {
+        topo.connect(a->second, port_a, b->second, port_b);
+      } catch (const common::CheckFailure& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown keyword: " + keyword);
+    }
+  }
+  return topo;
+}
+
+Topology from_text(const std::string& text) {
+  std::istringstream iss(text);
+  return read_topology(iss);
+}
+
+std::string to_dot(const Topology& topo) {
+  std::ostringstream oss;
+  oss << "graph sanmap {\n  rankdir=TB;\n";
+  for (const NodeId n : topo.hosts()) {
+    oss << "  n" << n << " [shape=box, label=\"" << topo.name(n) << "\"];\n";
+  }
+  for (const NodeId n : topo.switches()) {
+    // Record node with one field per port, mirroring the paper's switch
+    // drawings ("Switch 17 | 0 | 1 | ...").
+    oss << "  n" << n << " [shape=record, label=\"" << topo.name(n);
+    for (Port p = 0; p < topo.port_count(n); ++p) {
+      oss << " | <p" << p << "> " << p;
+    }
+    oss << "\"];\n";
+  }
+  for (const WireId w : topo.wires()) {
+    const Wire& wire = topo.wire(w);
+    const auto endpoint = [&](const PortRef& end) {
+      std::ostringstream e;
+      e << 'n' << end.node;
+      if (topo.is_switch(end.node)) {
+        e << ":p" << end.port;
+      }
+      return e.str();
+    };
+    oss << "  " << endpoint(wire.a) << " -- " << endpoint(wire.b) << ";\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace sanmap::topo

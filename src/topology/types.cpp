@@ -1,0 +1,19 @@
+#include "topology/types.hpp"
+
+#include <ostream>
+
+namespace sanmap::topo {
+
+const char* to_string(NodeKind kind) {
+  return kind == NodeKind::kHost ? "host" : "switch";
+}
+
+std::ostream& operator<<(std::ostream& os, NodeKind kind) {
+  return os << to_string(kind);
+}
+
+std::ostream& operator<<(std::ostream& os, const PortRef& ref) {
+  return os << '(' << ref.node << ',' << ref.port << ')';
+}
+
+}  // namespace sanmap::topo

@@ -1,0 +1,65 @@
+// Core identifier types for the network model of §2.1 of the paper:
+// a finite multigraph over hosts H and switches S, whose edges ("wires") have
+// a port number at each end. A switch has ports {0..7}; a host has port 0.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace sanmap::topo {
+
+/// Index of a node (host or switch) within a Topology.
+using NodeId = std::uint32_t;
+/// Index of a wire (edge) within a Topology.
+using WireId = std::uint32_t;
+/// A port number on a node. Switches use 0..7, hosts use 0.
+using Port = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr WireId kInvalidWire = std::numeric_limits<WireId>::max();
+
+/// Number of ports on a Myrinet crossbar switch.
+inline constexpr Port kSwitchPorts = 8;
+/// Number of ports on a host network interface.
+inline constexpr Port kHostPorts = 1;
+
+/// Node type: the network is a graph on H ∪ S.
+enum class NodeKind : std::uint8_t { kHost, kSwitch };
+
+const char* to_string(NodeKind kind);
+std::ostream& operator<<(std::ostream& os, NodeKind kind);
+
+/// A wire-end, uniquely identified by its (node, port) pair.
+struct PortRef {
+  NodeId node = kInvalidNode;
+  Port port = 0;
+
+  friend constexpr auto operator<=>(const PortRef&, const PortRef&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const PortRef& ref);
+
+/// An undirected wire between two wire-ends.
+struct Wire {
+  PortRef a;
+  PortRef b;
+
+  /// The wire-end opposite to the one on `node`. Precondition: the wire is
+  /// incident on `node` (for a self-loop on one node, returns `b`'s end when
+  /// asked from `a.node`, which equals `node` — callers use wire_at() to
+  /// resolve per-port).
+  [[nodiscard]] constexpr PortRef opposite(NodeId node) const {
+    return a.node == node ? b : a;
+  }
+
+  /// The wire-end opposite the given (node, port) end; handles self-loops.
+  [[nodiscard]] constexpr PortRef opposite(const PortRef& end) const {
+    return end == a ? b : a;
+  }
+
+  friend constexpr auto operator<=>(const Wire&, const Wire&) = default;
+};
+
+}  // namespace sanmap::topo

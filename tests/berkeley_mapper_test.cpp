@@ -1,0 +1,357 @@
+// End-to-end correctness tests for the production Berkeley mapper:
+// Theorem 1 (the map is isomorphic to N - F) across topology families,
+// collision models, heuristic settings, and operational modes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mapper/berkeley_mapper.hpp"
+#include "probe/probe_engine.hpp"
+#include "simnet/network.hpp"
+#include "topology/algorithms.hpp"
+#include "topology/generators.hpp"
+#include "topology/isomorphism.hpp"
+
+namespace sanmap::mapper {
+namespace {
+
+using probe::ProbeEngine;
+using probe::ProbeOptions;
+using simnet::CollisionModel;
+using simnet::Network;
+using topo::NodeId;
+using topo::Topology;
+
+/// Maps `t` from `mapper_host` and returns the result, using the
+/// ground-truth search depth Q + D + 1.
+MapResult map_topology(const Topology& t, NodeId mapper_host,
+                       CollisionModel collision = CollisionModel::kCutThrough,
+                       MapperConfig config = {},
+                       ProbeOptions probe_options = {}) {
+  Network net(t, collision);
+  ProbeEngine engine(net, mapper_host, std::move(probe_options));
+  config.search_depth = topo::search_depth(t, mapper_host);
+  return BerkeleyMapper(engine, config).run();
+}
+
+/// The Theorem 1 oracle: the map is isomorphic to core(N), matching hosts
+/// by name with per-switch port offsets free.
+void expect_maps_core(const Topology& t, const MapResult& result) {
+  const Topology expected = topo::core(t);
+  EXPECT_TRUE(topo::isomorphic(result.map, expected))
+      << "mapped " << result.map.num_hosts() << "h/"
+      << result.map.num_switches() << "s/" << result.map.num_wires()
+      << "w, expected " << expected.num_hosts() << "h/"
+      << expected.num_switches() << "s/" << expected.num_wires() << "w";
+}
+
+TEST(BerkeleyMapper, MapsTheLineNetwork) {
+  Topology t;
+  const NodeId h0 = t.add_host("h0");
+  const NodeId s0 = t.add_switch();
+  const NodeId s1 = t.add_switch();
+  const NodeId h1 = t.add_host("h1");
+  t.connect(h0, 0, s0, 2);
+  t.connect(s0, 5, s1, 1);
+  t.connect(s1, 4, h1, 0);
+  const auto result = map_topology(t, h0);
+  expect_maps_core(t, result);
+  EXPECT_EQ(result.map.num_switches(), 2u);
+}
+
+TEST(BerkeleyMapper, MapsAStar) {
+  const Topology t = topo::star(4, 3);
+  const auto result = map_topology(t, t.hosts().front());
+  expect_maps_core(t, result);
+}
+
+TEST(BerkeleyMapper, MapsARing) {
+  const Topology t = topo::ring(5, 2);
+  const auto result = map_topology(t, t.hosts().front());
+  expect_maps_core(t, result);
+}
+
+TEST(BerkeleyMapper, MapsAHypercube) {
+  const Topology t = topo::hypercube(3, 1);
+  const auto result = map_topology(t, t.hosts().front());
+  expect_maps_core(t, result);
+}
+
+TEST(BerkeleyMapper, MapsAMeshWithParallelPaths) {
+  const Topology t = topo::mesh(3, 3, 1);
+  const auto result = map_topology(t, t.hosts().front());
+  expect_maps_core(t, result);
+}
+
+TEST(BerkeleyMapper, MapsATorus) {
+  const Topology t = topo::torus(3, 3, 1);
+  const auto result = map_topology(t, t.hosts().front());
+  expect_maps_core(t, result);
+}
+
+TEST(BerkeleyMapper, MapsParallelWires) {
+  // Double links between switches must appear as double links in the map.
+  Topology t;
+  const NodeId h0 = t.add_host("h0");
+  const NodeId h1 = t.add_host("h1");
+  const NodeId s0 = t.add_switch();
+  const NodeId s1 = t.add_switch();
+  t.connect(h0, 0, s0, 0);
+  t.connect(s0, 1, s1, 1);
+  t.connect(s0, 2, s1, 2);  // parallel cable
+  t.connect(h1, 0, s1, 0);
+  const auto result = map_topology(t, h0);
+  expect_maps_core(t, result);
+  EXPECT_EQ(result.map.num_wires(), 4u);
+}
+
+TEST(BerkeleyMapper, MapsALoopbackCable) {
+  // A switch wired to itself (ports 4 and 6).
+  Topology t;
+  const NodeId h0 = t.add_host("h0");
+  const NodeId h1 = t.add_host("h1");
+  const NodeId s0 = t.add_switch();
+  const NodeId s1 = t.add_switch();
+  t.connect(h0, 0, s0, 0);
+  t.connect(s0, 1, s1, 1);
+  t.connect(s1, 4, s1, 6);
+  t.connect(h1, 0, s1, 0);
+  const auto result = map_topology(t, h0);
+  expect_maps_core(t, result);
+}
+
+TEST(BerkeleyMapper, MapsSubclusterC) {
+  const Topology t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  const NodeId mapper = *t.find_host("C.util");
+  const auto result = map_topology(t, mapper);
+  expect_maps_core(t, result);
+  EXPECT_EQ(result.map.num_hosts(), 36u);
+  EXPECT_EQ(result.map.num_switches(), 13u);
+  EXPECT_EQ(result.map.num_wires(), 64u);
+}
+
+TEST(BerkeleyMapper, PrunesTheSeparatedSetF) {
+  // With a host-free switch tail behind a switch-bridge, the map must be
+  // N - F (Theorem 1), under both collision models.
+  common::Rng rng(11);
+  const Topology t = topo::with_switch_tail(5, 6, 3, rng);
+  for (const auto collision :
+       {CollisionModel::kCircuit, CollisionModel::kCutThrough}) {
+    const auto result = map_topology(t, t.hosts().front(), collision);
+    expect_maps_core(t, result);
+    EXPECT_LT(result.map.num_switches(), t.num_switches());
+  }
+}
+
+TEST(BerkeleyMapper, CircuitModelStillMapsCore) {
+  // The paper's first collision model: strict circuit routing.
+  const Topology t = topo::mesh(3, 2, 1);
+  const auto result =
+      map_topology(t, t.hosts().front(), CollisionModel::kCircuit);
+  expect_maps_core(t, result);
+}
+
+struct RandomCase {
+  std::uint64_t seed;
+  int switches;
+  int hosts;
+  int extra_links;
+  CollisionModel collision;
+};
+
+class RandomNetworkTest : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(RandomNetworkTest, MapsCoreOfRandomIrregularNetwork) {
+  const RandomCase& param = GetParam();
+  common::Rng rng(param.seed);
+  const Topology t = topo::random_irregular(param.switches, param.hosts,
+                                            param.extra_links, rng);
+  const auto result = map_topology(t, t.hosts().front(), param.collision);
+  expect_maps_core(t, result);
+}
+
+std::vector<RandomCase> random_cases() {
+  std::vector<RandomCase> cases;
+  std::uint64_t seed = 1000;
+  for (const auto collision :
+       {CollisionModel::kCutThrough, CollisionModel::kCircuit}) {
+    for (int switches : {2, 4, 7, 10}) {
+      for (int extra : {0, 2, 5}) {
+        cases.push_back(RandomCase{seed++, switches,
+                                   std::max(2, switches), extra, collision});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomNetworkTest, ::testing::ValuesIn(random_cases()),
+    [](const auto& param_info) {
+      const RandomCase& c = param_info.param;
+      return std::string(c.collision == CollisionModel::kCircuit ? "circuit"
+                                                                 : "cut") +
+             "_s" + std::to_string(c.switches) + "_x" +
+             std::to_string(c.extra_links) + "_seed" +
+             std::to_string(c.seed);
+    });
+
+TEST(BerkeleyMapper, HeuristicsPreserveTheMapAndSaveProbes) {
+  const Topology t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  const NodeId mapper = *t.find_host("C.util");
+
+  MapperConfig with;
+  with.port_order_heuristic = true;
+  with.skip_known_ports = true;
+  const auto fast = map_topology(t, mapper, CollisionModel::kCutThrough,
+                                 with);
+
+  MapperConfig without;
+  without.port_order_heuristic = false;
+  without.skip_known_ports = false;
+  const auto naive = map_topology(t, mapper, CollisionModel::kCutThrough,
+                                  without);
+
+  EXPECT_TRUE(topo::isomorphic(fast.map, naive.map));
+  EXPECT_LT(fast.probes.total(), naive.probes.total());
+  EXPECT_LT(fast.elapsed, naive.elapsed);
+}
+
+TEST(BerkeleyMapper, TraceRecordsGrowthAndFinalPlummet) {
+  const Topology t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  const NodeId mapper = *t.find_host("C.util");
+  MapperConfig config;
+  config.record_trace = true;
+  const auto result = map_topology(t, mapper, CollisionModel::kCutThrough,
+                                   config);
+  ASSERT_GE(result.trace.size(), 2u);
+  // The model overshoots the actual node count and the final prune pulls it
+  // back (Figure 8's plummet).
+  EXPECT_GE(result.peak_model_vertices, t.num_nodes());
+  const TracePoint& last = result.trace.back();
+  EXPECT_EQ(last.frontier, 0u);
+  EXPECT_EQ(last.model_vertices, t.num_nodes());
+  EXPECT_EQ(last.model_edges, t.num_wires());
+}
+
+TEST(BerkeleyMapper, ExplorationsExceedActualSwitchCount) {
+  // Replicates get explored before they are identified: exploration count
+  // sits between the switch count and the model peak.
+  const Topology t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  const auto result = map_topology(t, *t.find_host("C.util"));
+  EXPECT_GT(result.explorations, t.num_switches());
+  EXPECT_GT(result.merges, 0u);
+}
+
+TEST(BerkeleyMapper, InsufficientDepthMissesNodes) {
+  // Depth ablation: a too-small search depth cannot cover the network.
+  const Topology t = topo::ring(6, 1);
+  const NodeId mapper = t.hosts().front();
+  Network net(t);
+  ProbeEngine engine(net, mapper);
+  MapperConfig config;
+  config.search_depth = 2;
+  const auto result = BerkeleyMapper(engine, config).run();
+  EXPECT_LT(result.map.num_nodes(), t.num_nodes());
+}
+
+TEST(BerkeleyMapper, ElectionModeProducesSameMapAtHigherCost) {
+  const Topology t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  const NodeId mapper = *t.find_host("C.util");
+
+  const auto master = map_topology(t, mapper);
+
+  ProbeOptions election;
+  election.election = true;
+  const auto elected = map_topology(t, mapper, CollisionModel::kCutThrough,
+                                    MapperConfig{}, election);
+
+  EXPECT_TRUE(topo::isomorphic(elected.map, master.map));
+  EXPECT_GT(elected.elapsed, master.elapsed);
+}
+
+TEST(BerkeleyMapper, NonParticipatingHostsAreInvisible) {
+  // Figure 9's regime: only some hosts run mapper daemons. The mapped graph
+  // contains exactly the participating hosts.
+  const Topology t = topo::star(3, 2);
+  const auto hosts = t.hosts();
+  ProbeOptions options;
+  options.participants = {hosts[0], hosts[1], hosts[3]};
+  const auto result = map_topology(t, hosts[0],
+                                   CollisionModel::kCutThrough, MapperConfig{},
+                                   options);
+  EXPECT_EQ(result.map.num_hosts(), 3u);
+  for (const NodeId participant : options.participants) {
+    EXPECT_TRUE(result.map.find_host(t.name(participant)).has_value());
+  }
+}
+
+TEST(BerkeleyMapper, DegenerateTwoHostNetwork) {
+  Topology t;
+  const NodeId a = t.add_host("a");
+  const NodeId b = t.add_host("b");
+  t.connect(a, 0, b, 0);
+  Network net(t);
+  ProbeEngine engine(net, a);
+  MapperConfig config;
+  config.search_depth = 4;
+  const auto result = BerkeleyMapper(engine, config).run();
+  EXPECT_EQ(result.map.num_hosts(), 2u);
+  EXPECT_EQ(result.map.num_wires(), 1u);
+  EXPECT_TRUE(result.map.find_host("b").has_value());
+}
+
+TEST(BerkeleyMapper, DisconnectedMapperMapsItself) {
+  Topology t;
+  const NodeId a = t.add_host("a");
+  t.add_host("b");
+  t.add_switch();
+  Network net(t);
+  ProbeEngine engine(net, a);
+  MapperConfig config;
+  config.search_depth = 4;
+  const auto result = BerkeleyMapper(engine, config).run();
+  EXPECT_EQ(result.map.num_hosts(), 1u);
+  EXPECT_EQ(result.map.num_wires(), 0u);
+}
+
+TEST(BerkeleyMapper, RemappingAfterReconfigurationTracksTheNetwork) {
+  // The paper's motivating scenario: the topology changes, the system
+  // re-maps. Add a switch with hosts, then remove a link.
+  Topology t = topo::star(3, 2);
+  const NodeId mapper = t.hosts().front();
+  {
+    const auto result = map_topology(t, mapper);
+    expect_maps_core(t, result);
+  }
+  // Grow: a new leaf switch with two hosts on the center.
+  const NodeId center = [&] {
+    for (const NodeId s : t.switches()) {
+      if (t.name(s) == "center") {
+        return s;
+      }
+    }
+    return topo::kInvalidNode;
+  }();
+  const NodeId new_leaf = t.add_switch("leaf-new");
+  t.connect_any(new_leaf, center);
+  const NodeId h_new = t.add_host("h-new");
+  t.connect_any(h_new, new_leaf);
+  {
+    const auto result = map_topology(t, mapper);
+    expect_maps_core(t, result);
+    EXPECT_TRUE(result.map.find_host("h-new").has_value());
+  }
+  // Shrink: remove the new host again.
+  t.remove_node(h_new);
+  {
+    const auto result = map_topology(t, mapper);
+    // The now host-free leaf switch hangs behind a switch-bridge: it is in
+    // F and must vanish from the map.
+    EXPECT_FALSE(result.map.find_host("h-new").has_value());
+    expect_maps_core(t, result);
+  }
+}
+
+}  // namespace
+}  // namespace sanmap::mapper

@@ -1,0 +1,168 @@
+// Tests for the operational infrastructure: the leveled logger, probe
+// transcripts with replay validation, and the model-graph invariant
+// checker exercised across full mapping runs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "mapper/berkeley_mapper.hpp"
+#include "mapper/model_graph.hpp"
+#include "probe/probe_engine.hpp"
+#include "simnet/network.hpp"
+#include "topology/algorithms.hpp"
+#include "topology/generators.hpp"
+#include "topology/isomorphism.hpp"
+
+namespace sanmap {
+namespace {
+
+using topo::NodeId;
+using topo::Topology;
+
+// ------------------------------------------------------------------ log ----
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    common::set_log_sink(&captured_);
+    saved_ = common::log_threshold();
+  }
+  void TearDown() override {
+    common::set_log_sink(nullptr);
+    common::set_log_threshold(saved_);
+  }
+  std::ostringstream captured_;
+  common::LogLevel saved_ = common::LogLevel::kWarning;
+};
+
+TEST_F(LogTest, ThresholdFiltersMessages) {
+  common::set_log_threshold(common::LogLevel::kWarning);
+  SANMAP_LOG(kDebug, "test", "hidden " << 1);
+  SANMAP_LOG(kWarning, "test", "shown " << 2);
+  const std::string out = captured_.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("shown 2"), std::string::npos);
+  EXPECT_NE(out.find("[warn] [test]"), std::string::npos);
+}
+
+TEST_F(LogTest, VerboseLevelEnablesDebug) {
+  common::set_log_threshold(common::LogLevel::kDebug);
+  EXPECT_TRUE(common::log_enabled(common::LogLevel::kDebug));
+  SANMAP_LOG(kDebug, "x", "now visible");
+  EXPECT_NE(captured_.str().find("now visible"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  common::set_log_threshold(common::LogLevel::kOff);
+  SANMAP_LOG(kError, "x", "nothing");
+  EXPECT_TRUE(captured_.str().empty());
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_STREQ(common::to_string(common::LogLevel::kDebug), "debug");
+  EXPECT_STREQ(common::to_string(common::LogLevel::kError), "error");
+}
+
+// ----------------------------------------------------------- transcripts ----
+
+TEST(Transcript, RecordsEveryProbeAndReplays) {
+  const Topology t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  const NodeId mapper_host = *t.find_host("C.util");
+  simnet::Network net(t);
+  probe::ProbeOptions options;
+  options.record_transcript = true;
+  probe::ProbeEngine engine(net, mapper_host, options);
+  mapper::MapperConfig config;
+  config.search_depth = topo::search_depth(t, mapper_host);
+  const auto result = mapper::BerkeleyMapper(engine, config).run();
+  ASSERT_TRUE(topo::isomorphic(result.map, topo::core(t)));
+
+  // One entry per probe sent.
+  EXPECT_EQ(engine.transcript().size(), result.probes.total());
+
+  // The transcript replays exactly against the same network...
+  simnet::Network replay_net(t);
+  EXPECT_TRUE(probe::transcript_replays(engine.transcript(), replay_net,
+                                        mapper_host));
+  // ...and is inconsistent with a modified one.
+  Topology changed = t;
+  changed.remove_node(*changed.find_host("C.h3"));
+  simnet::Network changed_net(changed);
+  EXPECT_FALSE(probe::transcript_replays(engine.transcript(), changed_net,
+                                         mapper_host));
+}
+
+TEST(Transcript, WriteFormatsOneLinePerProbe) {
+  Topology t;
+  const NodeId h0 = t.add_host("h0");
+  const NodeId s0 = t.add_switch();
+  const NodeId h1 = t.add_host("h1");
+  t.connect(h0, 0, s0, 2);
+  t.connect(h1, 0, s0, 4);
+  simnet::Network net(t);
+  probe::ProbeOptions options;
+  options.record_transcript = true;
+  probe::ProbeEngine engine(net, h0, options);
+  engine.switch_probe(simnet::Route{});      // hit: bounce off s0
+  engine.host_probe(simnet::Route{2});       // h1
+  std::ostringstream oss;
+  engine.write_transcript(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("h 1 h1 +2"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Transcript, DisabledByDefault) {
+  const Topology t = topo::star(2, 1);
+  simnet::Network net(t);
+  probe::ProbeEngine engine(net, t.hosts().front());
+  engine.switch_probe(simnet::Route{});
+  EXPECT_TRUE(engine.transcript().empty());
+}
+
+// ------------------------------------------------------ validate() sweeps --
+
+TEST(ModelGraphValidate, HoldsThroughFullMappingRuns) {
+  common::Rng rng(4242);
+  for (int trial = 0; trial < 6; ++trial) {
+    common::Rng topo_rng(rng.next());
+    const Topology t = topo::random_irregular(6 + trial, 6, trial, topo_rng);
+    simnet::Network net(t);
+    probe::ProbeEngine engine(net, t.hosts().front());
+    mapper::MapperConfig config;
+    config.search_depth = topo::search_depth(t, t.hosts().front());
+    mapper::BerkeleyMapper mapper(engine, config);
+    const auto result = mapper.run();
+    EXPECT_TRUE(topo::isomorphic(result.map, topo::core(t)));
+  }
+  // Direct structural exercise with merges, dedupes, and pruning.
+  mapper::ModelGraph m;
+  const auto root = m.add_host_vertex({}, "mapper");
+  const auto s0 = m.add_switch_vertex({});
+  m.add_edge(root, 0, s0, 0);
+  m.validate();
+  const auto h1 = m.add_host_vertex(simnet::Route{1}, "h1");
+  m.add_edge(s0, 1, h1, 0);
+  const auto s1 = m.add_switch_vertex(simnet::Route{2});
+  m.add_edge(s0, 2, s1, 0);
+  // h1 rediscovered through s1 at turn -3: merging aligns s1 into s0 with
+  // shift 4, turning the s0-s1 edge into a legal loopback cable (ports 2
+  // and 4 of the one actual switch).
+  const auto h1b = m.add_host_vertex(simnet::Route{2, -3}, "h1");
+  m.add_edge(s1, -3, h1b, 0);
+  m.stabilize();
+  m.validate();
+  m.prune();
+  m.validate();
+}
+
+TEST(ModelGraphValidate, CleanGraphPasses) {
+  mapper::ModelGraph m;
+  m.validate();  // empty
+  m.add_host_vertex({}, "a");
+  m.validate();
+}
+
+}  // namespace
+}  // namespace sanmap

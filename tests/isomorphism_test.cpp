@@ -1,0 +1,246 @@
+// Tests for the isomorphism oracle, including the port-offset mode that the
+// mapper's output requires (Definition 1's indexing offsets).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "topology/algorithms.hpp"
+#include "topology/generators.hpp"
+#include "topology/isomorphism.hpp"
+
+namespace sanmap::topo {
+namespace {
+
+Topology tiny() {
+  Topology t;
+  const NodeId h0 = t.add_host("h0");
+  const NodeId h1 = t.add_host("h1");
+  const NodeId s0 = t.add_switch();
+  const NodeId s1 = t.add_switch();
+  t.connect(h0, 0, s0, 2);
+  t.connect(s0, 3, s1, 5);
+  t.connect(h1, 0, s1, 6);
+  return t;
+}
+
+TEST(Isomorphism, IdenticalTopologiesMatchExactly) {
+  const Topology t = tiny();
+  IsoOptions exact;
+  exact.port_mode = IsoOptions::PortMode::kExact;
+  EXPECT_TRUE(isomorphic(t, t, exact));
+}
+
+TEST(Isomorphism, WitnessMapsNodesCorrectly) {
+  const Topology t = tiny();
+  const auto iso = find_isomorphism(t, t);
+  ASSERT_TRUE(iso.has_value());
+  for (const NodeId n : t.nodes()) {
+    EXPECT_EQ(iso->to[n], n);
+    EXPECT_EQ(iso->offset[n], 0);
+  }
+}
+
+TEST(Isomorphism, NodeRenumberingIsAccepted) {
+  // Same network built in a different order.
+  Topology u;
+  const NodeId s1 = u.add_switch();
+  const NodeId h1 = u.add_host("h1");
+  const NodeId s0 = u.add_switch();
+  const NodeId h0 = u.add_host("h0");
+  u.connect(h0, 0, s0, 2);
+  u.connect(s0, 3, s1, 5);
+  u.connect(h1, 0, s1, 6);
+  EXPECT_TRUE(isomorphic(tiny(), u));
+}
+
+TEST(Isomorphism, PortShiftAcceptedOnlyInOffsetMode) {
+  // Shift s0's ports by +1.
+  Topology u;
+  const NodeId h0 = u.add_host("h0");
+  const NodeId h1 = u.add_host("h1");
+  const NodeId s0 = u.add_switch();
+  const NodeId s1 = u.add_switch();
+  u.connect(h0, 0, s0, 3);
+  u.connect(s0, 4, s1, 5);
+  u.connect(h1, 0, s1, 6);
+
+  IsoOptions offset;
+  offset.port_mode = IsoOptions::PortMode::kUpToOffset;
+  EXPECT_TRUE(isomorphic(tiny(), u, offset));
+
+  IsoOptions exact;
+  exact.port_mode = IsoOptions::PortMode::kExact;
+  EXPECT_FALSE(isomorphic(tiny(), u, exact));
+}
+
+TEST(Isomorphism, NonUniformPortShuffleRejectedInOffsetMode) {
+  // Swap the two wires' ports on s0 (2<->3): the relative spacing changes,
+  // so no constant offset maps one onto the other... unless the swap is
+  // itself a shift. Build: h0 at port 3, s1 at port 2 (reversed order).
+  Topology u;
+  const NodeId h0 = u.add_host("h0");
+  const NodeId h1 = u.add_host("h1");
+  const NodeId s0 = u.add_switch();
+  const NodeId s1 = u.add_switch();
+  u.connect(h0, 0, s0, 3);
+  u.connect(s0, 2, s1, 5);
+  u.connect(h1, 0, s1, 6);
+  EXPECT_FALSE(isomorphic(tiny(), u));
+}
+
+TEST(Isomorphism, HostNamesPinTheMapping) {
+  // Swap the two host names: graphs are structurally isomorphic but the
+  // named matching must fail because h0 now hangs off the other switch
+  // (different port pattern in this asymmetric network).
+  Topology u;
+  const NodeId h0 = u.add_host("h1");  // names swapped
+  const NodeId h1 = u.add_host("h0");
+  const NodeId s0 = u.add_switch();
+  const NodeId s1 = u.add_switch();
+  u.connect(h0, 0, s0, 2);
+  u.connect(s0, 3, s1, 5);
+  u.connect(h1, 0, s1, 6);
+
+  IsoOptions named;
+  named.port_mode = IsoOptions::PortMode::kExact;
+  EXPECT_FALSE(isomorphic(tiny(), u, named));
+
+  IsoOptions anonymous = named;
+  anonymous.match_host_names = false;
+  EXPECT_TRUE(isomorphic(tiny(), u, anonymous));
+}
+
+TEST(Isomorphism, DifferentCountsRejectImmediately) {
+  Topology u = tiny();
+  u.add_switch();
+  EXPECT_FALSE(isomorphic(tiny(), u));
+}
+
+TEST(Isomorphism, ParallelEdgeMultiplicityMatters) {
+  Topology a;
+  const NodeId a0 = a.add_switch();
+  const NodeId a1 = a.add_switch();
+  const NodeId a2 = a.add_switch();
+  a.connect(a0, 0, a1, 0);
+  a.connect(a0, 1, a1, 1);  // double link a0-a1
+  a.connect(a1, 2, a2, 0);
+
+  Topology b;
+  const NodeId b0 = b.add_switch();
+  const NodeId b1 = b.add_switch();
+  const NodeId b2 = b.add_switch();
+  b.connect(b0, 0, b1, 0);
+  b.connect(b1, 1, b2, 1);  // double link b1-b2 instead
+  b.connect(b1, 2, b2, 0);
+
+  IsoOptions loose;
+  loose.port_mode = IsoOptions::PortMode::kIgnore;
+  loose.match_host_names = false;
+  // Both have the same degree sequence (2, 3, 1 vs 1, 3, 2) — the mapping
+  // exists structurally by reversing, so this SHOULD match.
+  EXPECT_TRUE(isomorphic(a, b, loose));
+
+  // Now break multiplicity: a triangle vs a double-edge-plus-pendant have
+  // the same degree sequence but different multiplicities.
+  Topology c;
+  const NodeId c0 = c.add_switch();
+  const NodeId c1 = c.add_switch();
+  const NodeId c2 = c.add_switch();
+  c.connect(c0, 0, c1, 0);
+  c.connect(c1, 1, c2, 1);
+  c.connect(c2, 0, c0, 1);  // triangle
+
+  Topology d;
+  const NodeId d0 = d.add_switch();
+  const NodeId d1 = d.add_switch();
+  const NodeId d2 = d.add_switch();
+  d.connect(d0, 0, d1, 0);
+  d.connect(d0, 1, d1, 1);
+  d.connect(d1, 2, d2, 0);  // double edge + pendant: degrees 2,3,1
+  EXPECT_FALSE(isomorphic(c, d, loose));
+}
+
+TEST(Isomorphism, SelfLoopsMustCorrespond) {
+  Topology a;
+  const NodeId s = a.add_switch();
+  a.connect(s, 0, s, 1);
+
+  Topology b;
+  b.add_switch();
+
+  IsoOptions loose;
+  loose.port_mode = IsoOptions::PortMode::kIgnore;
+  EXPECT_FALSE(isomorphic(a, b, loose));
+
+  Topology c;
+  const NodeId cs = c.add_switch();
+  c.connect(cs, 3, cs, 4);  // shifted self-loop
+  EXPECT_TRUE(isomorphic(a, c));
+}
+
+TEST(Isomorphism, HypercubeSelfIsomorphicUnderRelabeling) {
+  const Topology cube = hypercube(3, 1);
+  // Rebuild with host names permuted is NOT isomorphic under named match,
+  // but the raw structure matches anonymously.
+  IsoOptions anonymous;
+  anonymous.match_host_names = false;
+  anonymous.port_mode = IsoOptions::PortMode::kIgnore;
+  EXPECT_TRUE(isomorphic(cube, hypercube(3, 1), anonymous));
+}
+
+TEST(Isomorphism, NowSubclusterRoundTrip) {
+  const Topology c1 = now_subcluster(Subcluster::kC, "C");
+  const Topology c2 = now_subcluster(Subcluster::kC, "C");
+  IsoOptions exact;
+  exact.port_mode = IsoOptions::PortMode::kExact;
+  EXPECT_TRUE(isomorphic(c1, c2, exact));
+}
+
+TEST(Isomorphism, SubclustersAreNotMutuallyIsomorphic) {
+  IsoOptions anonymous;
+  anonymous.match_host_names = false;
+  EXPECT_FALSE(isomorphic(now_subcluster(Subcluster::kA, "X"),
+                          now_subcluster(Subcluster::kB, "X"), anonymous));
+}
+
+TEST(Isomorphism, RandomGraphSelfMatchWithShiftedPorts) {
+  // Property: shifting every switch's wiring by a random feasible offset
+  // preserves isomorphism in kUpToOffset mode.
+  common::Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Topology t = random_irregular(8, 8, 4, rng);
+    // Rebuild with each switch's ports shifted so the occupied span still
+    // fits in 0..7.
+    Topology shifted;
+    std::vector<NodeId> remap(t.node_capacity());
+    std::vector<Port> shift(t.node_capacity(), 0);
+    for (const NodeId n : t.nodes()) {
+      if (t.is_host(n)) {
+        remap[n] = shifted.add_host(t.name(n));
+      } else {
+        remap[n] = shifted.add_switch(t.name(n));
+        // Feasible shift range given occupied ports.
+        Port lo = kSwitchPorts;
+        Port hi = -1;
+        for (Port p = 0; p < t.port_count(n); ++p) {
+          if (t.wire_at(n, p)) {
+            lo = std::min(lo, p);
+            hi = std::max(hi, p);
+          }
+        }
+        if (hi >= 0) {
+          shift[n] = static_cast<Port>(
+              rng.range(-lo, kSwitchPorts - 1 - hi));
+        }
+      }
+    }
+    for (const WireId w : t.wires()) {
+      const Wire& wire = t.wire(w);
+      shifted.connect(remap[wire.a.node], wire.a.port + shift[wire.a.node],
+                      remap[wire.b.node], wire.b.port + shift[wire.b.node]);
+    }
+    EXPECT_TRUE(isomorphic(t, shifted)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sanmap::topo

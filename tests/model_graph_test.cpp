@@ -1,0 +1,285 @@
+// Unit tests for the production model graph: merge mechanics, the
+// offset-carrying alias table, slot-conflict cascades, pruning, extraction.
+// Also covers the TurnFeasibility heuristic.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "mapper/model_graph.hpp"
+#include "mapper/turn_feasibility.hpp"
+
+namespace sanmap::mapper {
+namespace {
+
+using simnet::Route;
+
+// ---------------------------------------------------------- model graph ----
+
+TEST(ModelGraph, FreshVerticesAreCanonical) {
+  ModelGraph m;
+  const VertexId h = m.add_host_vertex(Route{}, "a");
+  const VertexId s = m.add_switch_vertex(Route{1});
+  EXPECT_TRUE(m.vertex_alive(h));
+  EXPECT_TRUE(m.vertex_alive(s));
+  EXPECT_EQ(m.resolve(h).vertex, h);
+  EXPECT_EQ(m.resolve(h).shift, 0);
+  EXPECT_EQ(m.live_vertices(), 2u);
+  EXPECT_TRUE(m.stabilized());
+}
+
+TEST(ModelGraph, DuplicateHostSchedulesMerge) {
+  ModelGraph m;
+  const VertexId h1 = m.add_host_vertex(Route{1}, "same");
+  const VertexId h2 = m.add_host_vertex(Route{2, 2}, "same");
+  EXPECT_FALSE(m.stabilized());
+  m.stabilize();
+  EXPECT_EQ(m.live_vertices(), 1u);
+  EXPECT_EQ(m.resolve(h2).vertex, h1);
+  EXPECT_EQ(m.resolve(h2).shift, 0);
+}
+
+TEST(ModelGraph, HostMergeCascadesToSwitches) {
+  // Two discovery paths to the same host imply their parent switches are
+  // replicates; the shift realigns the second switch's indices.
+  ModelGraph m;
+  const VertexId s1 = m.add_switch_vertex(Route{});
+  const VertexId h1 = m.add_host_vertex(Route{2}, "host");
+  m.add_edge(s1, 2, h1, 0);  // s1 found it with turn +2
+
+  const VertexId s2 = m.add_switch_vertex(Route{5});
+  const VertexId h2 = m.add_host_vertex(Route{5, -1}, "host");
+  m.add_edge(s2, -1, h2, 0);  // s2 found it with turn -1
+  m.stabilize();
+
+  // Hosts merged; both switch edges now sit in one slot of the canonical
+  // host, so the switches merged too.
+  EXPECT_EQ(m.live_vertices(), 2u);  // one host, one switch
+  const Resolved rs2 = m.resolve(s2);
+  EXPECT_EQ(rs2.vertex, s1);
+  // s2's index -1 must equal s1's index 2: shift +3.
+  EXPECT_EQ(rs2.shift, 3);
+}
+
+TEST(ModelGraph, SlotConflictMergesFarVertices) {
+  // One switch port claims links to two "different" switches: they must be
+  // the same switch (a port has one cable).
+  ModelGraph m;
+  const VertexId a = m.add_switch_vertex(Route{});
+  const VertexId x = m.add_switch_vertex(Route{3});
+  const VertexId y = m.add_switch_vertex(Route{9, 9});
+  m.add_edge(a, 3, x, 0);
+  EXPECT_TRUE(m.stabilized());
+  m.add_edge(a, 3, y, 4);
+  EXPECT_FALSE(m.stabilized());
+  m.stabilize();
+  EXPECT_EQ(m.live_vertices(), 2u);
+  const Resolved ry = m.resolve(y);
+  EXPECT_EQ(ry.vertex, x);
+  EXPECT_EQ(ry.shift, -4);  // y's 4 aligns to x's 0
+  // The duplicate edge was deduplicated.
+  EXPECT_EQ(m.live_edges(), 1u);
+}
+
+TEST(ModelGraph, MergePropagatesExploredFlag) {
+  ModelGraph m;
+  const VertexId a = m.add_switch_vertex(Route{});
+  const VertexId b = m.add_switch_vertex(Route{1});
+  m.mark_explored(b);
+  const VertexId h1 = m.add_host_vertex(Route{2}, "h");
+  const VertexId h2 = m.add_host_vertex(Route{1, 2}, "h");
+  m.add_edge(a, 2, h1, 0);
+  m.add_edge(b, 2, h2, 0);
+  m.stabilize();
+  const Resolved r = m.resolve(a);
+  EXPECT_TRUE(m.vertex(r.vertex).explored);
+}
+
+TEST(ModelGraph, AddEdgeResolvesMergedEndpoints) {
+  // Attaching an edge to a merged-away vertex lands on the canonical one
+  // with the shift applied.
+  ModelGraph m;
+  const VertexId s1 = m.add_switch_vertex(Route{});
+  const VertexId h1 = m.add_host_vertex(Route{2}, "h");
+  m.add_edge(s1, 2, h1, 0);
+  const VertexId s2 = m.add_switch_vertex(Route{5});
+  const VertexId h2 = m.add_host_vertex(Route{5, -1}, "h");
+  m.add_edge(s2, -1, h2, 0);
+  m.stabilize();  // s2 == s1 with shift 3
+
+  const VertexId child = m.add_switch_vertex(Route{5, 4});
+  m.add_edge(s2, 4, child, 0);  // s2 is dead; should land at s1 index 7
+  m.stabilize();
+  const Resolved rc = m.resolve(child);
+  bool found = false;
+  for (const auto& [index, list] : m.vertex(s1).slots) {
+    for (const EdgeId e : list) {
+      const auto [far, far_index] = m.far_end(e, s1, index);
+      if (far == rc.vertex) {
+        EXPECT_EQ(index, 7);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModelGraph, InconsistentOffsetDetected) {
+  // Merging the same pair twice with different shifts is a contradiction.
+  ModelGraph m;
+  const VertexId s1 = m.add_switch_vertex(Route{});
+  const VertexId h1 = m.add_host_vertex(Route{2}, "h");
+  m.add_edge(s1, 2, h1, 0);
+  const VertexId s2 = m.add_switch_vertex(Route{5});
+  const VertexId h2 = m.add_host_vertex(Route{5, -1}, "h");
+  m.add_edge(s2, -1, h2, 0);
+  m.stabilize();
+  // Now claim s1 and s2 also share a host at incompatible indices.
+  const VertexId h3 = m.add_host_vertex(Route{3}, "g");
+  const VertexId h4 = m.add_host_vertex(Route{5, 5}, "g");
+  m.add_edge(s1, 3, h3, 0);
+  m.add_edge(s2, 1, h4, 0);  // implies shift 2, but the truth is 3
+  EXPECT_THROW(m.stabilize(), common::CheckFailure);
+}
+
+TEST(ModelGraph, HostSwitchConflictDetected) {
+  ModelGraph m;
+  const VertexId a = m.add_switch_vertex(Route{});
+  const VertexId sw = m.add_switch_vertex(Route{3});
+  const VertexId host = m.add_host_vertex(Route{3}, "h");
+  m.add_edge(a, 3, sw, 0);
+  // The conflict is detected as soon as the second edge lands in the slot.
+  EXPECT_THROW(m.add_edge(a, 3, host, 0), common::CheckFailure);
+}
+
+TEST(ModelGraph, PruneRemovesDanglingSwitchChains) {
+  ModelGraph m;
+  const VertexId root = m.add_host_vertex(Route{}, "mapper");
+  const VertexId s0 = m.add_switch_vertex(Route{});
+  m.add_edge(root, 0, s0, 0);
+  const VertexId h = m.add_host_vertex(Route{2}, "h");
+  m.add_edge(s0, 2, h, 0);
+  // A chain of unexplored switch vertices hanging off s0.
+  const VertexId t0 = m.add_switch_vertex(Route{3});
+  m.add_edge(s0, 3, t0, 0);
+  const VertexId t1 = m.add_switch_vertex(Route{3, 1});
+  m.add_edge(t0, 1, t1, 0);
+  m.stabilize();
+  EXPECT_EQ(m.prune(), 2);  // t1 first, then t0
+  EXPECT_FALSE(m.vertex_alive(t0));
+  EXPECT_FALSE(m.vertex_alive(t1));
+  EXPECT_TRUE(m.vertex_alive(s0));
+  EXPECT_EQ(m.live_edges(), 2u);
+}
+
+TEST(ModelGraph, PruneKeepsHosts) {
+  ModelGraph m;
+  const VertexId h = m.add_host_vertex(Route{}, "alone");
+  m.stabilize();
+  EXPECT_EQ(m.prune(), 0);
+  EXPECT_TRUE(m.vertex_alive(h));
+}
+
+TEST(ModelGraph, ExtractBuildsTopologyWithNormalizedPorts) {
+  ModelGraph m;
+  const VertexId root = m.add_host_vertex(Route{}, "mapper");
+  const VertexId s = m.add_switch_vertex(Route{});
+  m.add_edge(root, 0, s, 0);
+  const VertexId h = m.add_host_vertex(Route{-3}, "h");
+  m.add_edge(s, -3, h, 0);  // s's indices: {-3, 0} -> ports {0, 3}
+  m.stabilize();
+  const topo::Topology t = m.extract();
+  EXPECT_EQ(t.num_hosts(), 2u);
+  EXPECT_EQ(t.num_switches(), 1u);
+  EXPECT_EQ(t.num_wires(), 2u);
+  const auto mapper = t.find_host("mapper");
+  ASSERT_TRUE(mapper.has_value());
+  const auto far = t.peer(*mapper, 0);
+  ASSERT_TRUE(far.has_value());
+  EXPECT_EQ(far->port, 3);  // index 0 - base(-3)
+}
+
+TEST(ModelGraph, ExtractRejectsUnstabilizedGraph) {
+  ModelGraph m;
+  m.add_host_vertex(Route{}, "x");
+  m.add_host_vertex(Route{1}, "x");
+  EXPECT_THROW((void)m.extract(), common::CheckFailure);
+}
+
+TEST(ModelGraph, ModelSelfLoopSurvivesExtraction) {
+  // A switch with a loopback cable: the merged model has an edge from the
+  // switch to itself at two different indices.
+  ModelGraph m;
+  const VertexId root = m.add_host_vertex(Route{}, "mapper");
+  const VertexId s = m.add_switch_vertex(Route{});
+  m.add_edge(root, 0, s, 0);
+  m.add_edge(s, 2, s, 4);
+  m.stabilize();
+  const topo::Topology t = m.extract();
+  EXPECT_EQ(t.num_switches(), 1u);
+  EXPECT_EQ(t.num_wires(), 2u);
+  const topo::NodeId sw = t.switches().front();
+  int self_loops = 0;
+  for (const topo::WireId w : t.wires()) {
+    const topo::Wire& wire = t.wire(w);
+    if (wire.a.node == sw && wire.b.node == sw) {
+      ++self_loops;
+    }
+  }
+  EXPECT_EQ(self_loops, 1);
+}
+
+// ------------------------------------------------------ turn feasibility ----
+
+TEST(TurnFeasibility, AllTurnsFeasibleInitially) {
+  TurnFeasibility f;
+  for (int t = -7; t <= 7; ++t) {
+    EXPECT_TRUE(f.feasible(t)) << t;
+  }
+  EXPECT_EQ(f.entry_lo(), 0);
+  EXPECT_EQ(f.entry_hi(), 7);
+}
+
+TEST(TurnFeasibility, SuccessNarrowsEntryRange) {
+  TurnFeasibility f;
+  f.record_success(5);  // entry + 5 <= 7 -> entry <= 2
+  EXPECT_EQ(f.entry_lo(), 0);
+  EXPECT_EQ(f.entry_hi(), 2);
+  EXPECT_TRUE(f.feasible(7));    // entry 0 works
+  EXPECT_TRUE(f.feasible(-2));   // entry 2 works
+  EXPECT_FALSE(f.feasible(-3));  // would need entry >= 3
+}
+
+TEST(TurnFeasibility, FullSpanPinsEntryPort) {
+  TurnFeasibility f;
+  f.record_success(-2);
+  f.record_success(5);  // span 7: entry exactly 2
+  EXPECT_EQ(f.entry_lo(), 2);
+  EXPECT_EQ(f.entry_hi(), 2);
+  for (int t = -7; t <= 7; ++t) {
+    EXPECT_EQ(f.feasible(t), t >= -2 && t <= 5) << t;
+  }
+}
+
+TEST(TurnFeasibility, OverSpanIsContradiction) {
+  TurnFeasibility f;
+  f.record_success(-3);
+  EXPECT_THROW(f.record_success(5), common::CheckFailure);
+}
+
+TEST(TurnFeasibility, ExplorationOrders) {
+  const auto naive = TurnFeasibility::exploration_order(false);
+  ASSERT_EQ(naive.size(), 14u);
+  EXPECT_EQ(naive.front(), -7);
+  EXPECT_EQ(naive.back(), 7);
+  EXPECT_TRUE(std::find(naive.begin(), naive.end(), 0) == naive.end());
+
+  const auto adaptive = TurnFeasibility::exploration_order(true);
+  ASSERT_EQ(adaptive.size(), 14u);
+  EXPECT_EQ(adaptive[0], 1);
+  EXPECT_EQ(adaptive[1], -1);
+  EXPECT_EQ(adaptive[2], 2);
+  EXPECT_TRUE(std::find(adaptive.begin(), adaptive.end(), 0) ==
+              adaptive.end());
+}
+
+}  // namespace
+}  // namespace sanmap::mapper

@@ -1,0 +1,200 @@
+// Tests for the Myricom baseline mapper (§4.1): correctness on the same
+// topology families as the Berkeley mapper, the four probe categories, and
+// the §4.2 comparisons (more messages, host probes dominate).
+#include <gtest/gtest.h>
+
+#include "mapper/berkeley_mapper.hpp"
+#include "myricom/myricom_mapper.hpp"
+#include "probe/probe_engine.hpp"
+#include "topology/algorithms.hpp"
+#include "topology/generators.hpp"
+#include "topology/isomorphism.hpp"
+
+namespace sanmap::myricom {
+namespace {
+
+using simnet::CollisionModel;
+using simnet::Network;
+using topo::NodeId;
+using topo::Topology;
+
+MyricomResult map_with_myricom(const Topology& t, NodeId mapper_host,
+                               MyricomConfig config = {}) {
+  Network net(t);
+  return MyricomMapper(net, mapper_host, config).run();
+}
+
+TEST(MyricomMapper, MapsTheLineNetwork) {
+  Topology t;
+  const NodeId h0 = t.add_host("h0");
+  const NodeId s0 = t.add_switch();
+  const NodeId s1 = t.add_switch();
+  const NodeId h1 = t.add_host("h1");
+  t.connect(h0, 0, s0, 2);
+  t.connect(s0, 5, s1, 1);
+  t.connect(s1, 4, h1, 0);
+  const auto result = map_with_myricom(t, h0);
+  EXPECT_TRUE(topo::isomorphic(result.map, t));
+  EXPECT_EQ(result.explored_switches, 2u);
+}
+
+TEST(MyricomMapper, MapsAStar) {
+  const Topology t = topo::star(4, 2);
+  const auto result = map_with_myricom(t, t.hosts().front());
+  EXPECT_TRUE(topo::isomorphic(result.map, t));
+}
+
+TEST(MyricomMapper, MapsARingExactlyOncePerSwitch) {
+  const Topology t = topo::ring(5, 1);
+  const auto result = map_with_myricom(t, t.hosts().front());
+  EXPECT_TRUE(topo::isomorphic(result.map, t));
+  // Eager replicate detection: each actual switch is explored exactly once.
+  EXPECT_EQ(result.explored_switches, t.num_switches());
+  EXPECT_GT(result.frontier_pops, result.explored_switches);
+  // Every switch here carries a host, so replicates resolve by host
+  // anchoring with zero comparison probes — one of §4.1's probe-saving
+  // heuristics.
+  EXPECT_EQ(result.probes.compare_probes, 0u);
+}
+
+TEST(MyricomMapper, HostFreeSwitchesNeedComparisonProbes) {
+  // A ring where only two adjacent switches carry hosts: the three
+  // host-free switches are reachable from both directions and must be
+  // disambiguated by comparison probes.
+  Topology t;
+  std::vector<NodeId> sw;
+  for (int i = 0; i < 5; ++i) {
+    sw.push_back(t.add_switch());
+  }
+  for (int i = 0; i < 5; ++i) {
+    t.connect(sw[static_cast<std::size_t>(i)], 0,
+              sw[static_cast<std::size_t>((i + 1) % 5)], 1);
+  }
+  const NodeId h0 = t.add_host("h0");
+  t.connect(h0, 0, sw[0], 2);
+  const NodeId h1 = t.add_host("h1");
+  t.connect(h1, 0, sw[1], 2);
+  const auto result = map_with_myricom(t, h0);
+  EXPECT_TRUE(topo::isomorphic(result.map, t));
+  EXPECT_EQ(result.explored_switches, 5u);
+  EXPECT_GT(result.probes.compare_probes, 0u);
+  EXPECT_GT(result.probes.compare_hits, 0u);
+}
+
+TEST(MyricomMapper, MapsParallelWiresAndLoopbackCables) {
+  Topology t;
+  const NodeId h0 = t.add_host("h0");
+  const NodeId h1 = t.add_host("h1");
+  const NodeId s0 = t.add_switch();
+  const NodeId s1 = t.add_switch();
+  t.connect(h0, 0, s0, 0);
+  t.connect(s0, 1, s1, 1);
+  t.connect(s0, 2, s1, 2);  // parallel cable
+  t.connect(s1, 4, s1, 6);  // loopback cable
+  t.connect(h1, 0, s1, 0);
+  const auto result = map_with_myricom(t, h0);
+  EXPECT_TRUE(topo::isomorphic(result.map, t));
+}
+
+TEST(MyricomMapper, MapsHostFreeRegionsUnlikeBerkeley) {
+  // Comparison probes need no host anchors: the Myricom map covers F.
+  common::Rng rng(21);
+  const Topology t = topo::with_switch_tail(4, 5, 2, rng);
+  const auto result = map_with_myricom(t, t.hosts().front());
+  EXPECT_TRUE(topo::isomorphic(result.map, t));  // all of N, not N - F
+  EXPECT_EQ(result.map.num_switches(), t.num_switches());
+}
+
+TEST(MyricomMapper, MapsSubclusterC) {
+  const Topology t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  const auto result = map_with_myricom(t, *t.find_host("C.util"));
+  EXPECT_TRUE(topo::isomorphic(result.map, t));
+  EXPECT_EQ(result.explored_switches, 13u);
+}
+
+TEST(MyricomMapper, RandomNetworkSweep) {
+  common::Rng rng(777);
+  for (int trial = 0; trial < 8; ++trial) {
+    common::Rng topo_rng(rng.next());
+    const Topology t = topo::random_irregular(2 + trial, 4, trial / 2,
+                                              topo_rng);
+    const auto result = map_with_myricom(t, t.hosts().front());
+    EXPECT_TRUE(topo::isomorphic(result.map, t)) << "trial " << trial;
+  }
+}
+
+TEST(MyricomMapper, RequiresCutThroughModel) {
+  const Topology t = topo::star(2, 1);
+  Network net(t, CollisionModel::kCircuit);
+  EXPECT_THROW(MyricomMapper(net, t.hosts().front()),
+               common::CheckFailure);
+}
+
+TEST(MyricomMapper, HostProbesDominateTheMessageCount) {
+  // Figure 10's signature: the host category dwarfs loop and sw because
+  // every frontier pop sweeps all 14 turns for hosts.
+  const Topology t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  const auto result = map_with_myricom(t, *t.find_host("C.util"));
+  EXPECT_GT(result.probes.host_probes, result.probes.loop_probes);
+  EXPECT_GT(result.probes.host_probes, result.probes.switch_probes);
+  EXPECT_GT(result.probes.compare_probes, 0u);
+}
+
+TEST(MyricomMapper, SendsMoreMessagesThanBerkeley) {
+  // §4.2 / Figure 10: 3.2x the messages on subcluster C (ours need not hit
+  // the exact factor, but the ordering and rough magnitude must hold).
+  const Topology t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  const NodeId mapper_host = *t.find_host("C.util");
+
+  const auto myri = map_with_myricom(t, mapper_host);
+
+  Network net(t);
+  probe::ProbeEngine engine(net, mapper_host);
+  mapper::MapperConfig config;
+  config.search_depth = topo::search_depth(t, mapper_host);
+  const auto berkeley = mapper::BerkeleyMapper(engine, config).run();
+
+  const double ratio = static_cast<double>(myri.probes.total()) /
+                       static_cast<double>(berkeley.probes.total());
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 12.0);
+  EXPECT_GT(myri.elapsed, berkeley.elapsed);
+}
+
+TEST(MyricomMapper, ProcessorSlowdownScalesTime) {
+  const Topology t = topo::star(3, 2);
+  MyricomConfig slow;
+  slow.processor_slowdown = 8.0;
+  MyricomConfig fast;
+  fast.processor_slowdown = 1.0;
+  const auto slow_result = map_with_myricom(t, t.hosts().front(), slow);
+  const auto fast_result = map_with_myricom(t, t.hosts().front(), fast);
+  EXPECT_EQ(slow_result.probes.total(), fast_result.probes.total());
+  EXPECT_GT(slow_result.elapsed, fast_result.elapsed);
+}
+
+TEST(MyricomMapper, NarrowingReducesLoopAndSwitchProbes) {
+  const Topology t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  MyricomConfig narrow;
+  narrow.narrow_sweeps = true;
+  MyricomConfig wide;
+  wide.narrow_sweeps = false;
+  const auto a = map_with_myricom(t, *t.find_host("C.util"), narrow);
+  const auto b = map_with_myricom(t, *t.find_host("C.util"), wide);
+  EXPECT_TRUE(topo::isomorphic(a.map, b.map));
+  EXPECT_LT(a.probes.loop_probes + a.probes.switch_probes,
+            b.probes.loop_probes + b.probes.switch_probes);
+}
+
+TEST(MyricomMapper, DegenerateTwoHostNetwork) {
+  Topology t;
+  const NodeId a = t.add_host("a");
+  const NodeId b = t.add_host("b");
+  t.connect(a, 0, b, 0);
+  const auto result = map_with_myricom(t, a);
+  EXPECT_EQ(result.map.num_hosts(), 2u);
+  EXPECT_EQ(result.map.num_wires(), 1u);
+}
+
+}  // namespace
+}  // namespace sanmap::myricom

@@ -1,0 +1,169 @@
+// Tests for the routing extras: congestion analysis, spanning-tree routing
+// (the §6 comparison baseline), table distribution, and probe retries.
+#include <gtest/gtest.h>
+
+#include "probe/probe_engine.hpp"
+#include "routing/congestion.hpp"
+#include "routing/deadlock.hpp"
+#include "routing/distribute.hpp"
+#include "routing/routes.hpp"
+#include "routing/tree_routes.hpp"
+#include "simnet/network.hpp"
+#include "topology/generators.hpp"
+
+namespace sanmap::routing {
+namespace {
+
+using topo::NodeId;
+using topo::Topology;
+
+// ------------------------------------------------------------ congestion --
+
+TEST(Congestion, CountsChannelLoads) {
+  // Star with 2 leaves, 1 host each: the single inter-switch path carries
+  // both directions' routes.
+  const Topology t = topo::star(2, 1);
+  const auto routes = compute_updown_routes(t);
+  const auto stats = channel_load(t, routes);
+  EXPECT_EQ(stats.max_channel_load, 1u);  // 2 routes, opposite directions
+  EXPECT_GT(stats.used_channels, 0u);
+  EXPECT_GT(stats.root_traffic_share, 0.0);
+  EXPECT_NE(stats.hottest_wire, topo::kInvalidWire);
+}
+
+TEST(Congestion, RootShareReflectsTheKnownUpDownWeakness) {
+  // On the torus, UP*/DOWN* concentrates traffic around the BFS root
+  // ("increased congestion about the root"); tree routing is even worse.
+  const Topology t = topo::torus(4, 4, 1);
+  const auto updown = compute_updown_routes(t);
+  const auto tree = compute_tree_routes(t);
+  const auto updown_stats = channel_load(t, updown);
+  const auto tree_stats = channel_load(t, tree);
+  EXPECT_GT(updown_stats.root_traffic_share, 0.05);
+  EXPECT_GE(tree_stats.max_channel_load, updown_stats.max_channel_load);
+}
+
+TEST(Congestion, EmptyRouteSetIsZero) {
+  // One switch, one host: no host pairs, no routes.
+  Topology t;
+  const NodeId s = t.add_switch();
+  const NodeId h = t.add_host();
+  t.connect(h, 0, s, 0);
+  const auto routes = compute_updown_routes(t);
+  const auto stats = channel_load(t, routes);
+  EXPECT_EQ(stats.max_channel_load, 0u);
+  EXPECT_EQ(stats.used_channels, 0u);
+}
+
+// ---------------------------------------------------------- tree routing --
+
+TEST(TreeRoutes, AllPairsDeliveredAndDeadlockFree) {
+  for (const Topology& t :
+       {topo::torus(3, 3, 1), topo::now_subcluster(topo::Subcluster::kC, "C"),
+        topo::hypercube(3, 1)}) {
+    const auto routes = compute_tree_routes(t);
+    const auto hosts = t.hosts();
+    EXPECT_EQ(routes.routes.size(), hosts.size() * (hosts.size() - 1));
+    EXPECT_TRUE(updown_compliant(routes));
+    EXPECT_TRUE(analyze_routes(t, routes).deadlock_free);
+    simnet::Network net(t);
+    for (const auto& [key, route] : routes.routes) {
+      const auto r = net.send(key.first, route.turns);
+      ASSERT_TRUE(r.delivered());
+      EXPECT_EQ(r.destination, key.second);
+    }
+  }
+}
+
+TEST(TreeRoutes, UsesOnlyTreeEdges) {
+  const Topology t = topo::torus(3, 3, 1);
+  const auto routes = compute_tree_routes(t);
+  std::set<topo::WireId> used;
+  for (const auto& [key, route] : routes.routes) {
+    used.insert(route.wires.begin(), route.wires.end());
+  }
+  // A spanning tree over 9 switches + 9 host links = 8 + 9 wires at most.
+  EXPECT_LE(used.size(), t.num_switches() - 1 + t.num_hosts());
+}
+
+TEST(TreeRoutes, LongerOrEqualPathsThanUpDown) {
+  const Topology t = topo::torus(4, 4, 1);
+  const auto tree = compute_tree_routes(t);
+  const auto updown = compute_updown_routes(t);
+  EXPECT_GE(tree.mean_hops(), updown.mean_hops());
+}
+
+// ----------------------------------------------------------- distribution --
+
+TEST(Distribute, ShipsEveryTable) {
+  const Topology t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  const auto routes = compute_updown_routes(t);
+  simnet::Network net(t);
+  const NodeId master = *t.find_host("C.util");
+  const auto result = distribute_tables(net, routes, master);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.messages, t.num_hosts() - 1);
+  EXPECT_GT(result.bytes, 0u);
+  EXPECT_GT(result.elapsed.to_ns(), 0);
+}
+
+TEST(Distribute, FlagsUndeliverableTables) {
+  // Compute routes on the full network, then degrade the fabric with heavy
+  // traffic: some table messages are destroyed and distribution reports it.
+  const Topology t = topo::star(3, 2);
+  const auto routes = compute_updown_routes(t);
+  simnet::FaultModel faults;
+  faults.traffic_intensity = 0.9;
+  simnet::Network net(t, simnet::CollisionModel::kCutThrough,
+                      simnet::CostModel{}, faults, 5);
+  const auto result = distribute_tables(net, routes, t.hosts().front());
+  EXPECT_FALSE(result.complete);
+}
+
+// ---------------------------------------------------------------- retries --
+
+TEST(Retries, RecoverProbesLostToTraffic) {
+  const Topology t = topo::star(3, 2);
+  simnet::FaultModel faults;
+  faults.traffic_intensity = 0.25;
+  const NodeId mapper_host = t.hosts().front();
+
+  int hit_without = 0;
+  int hit_with = 0;
+  const int trials = 300;
+  {
+    simnet::Network net(t, simnet::CollisionModel::kCutThrough,
+                        simnet::CostModel{}, faults, 9);
+    probe::ProbeEngine engine(net, mapper_host);
+    for (int i = 0; i < trials; ++i) {
+      hit_without += engine.switch_probe(simnet::Route{-1}) ? 1 : 0;
+    }
+  }
+  {
+    simnet::Network net(t, simnet::CollisionModel::kCutThrough,
+                        simnet::CostModel{}, faults, 9);
+    probe::ProbeOptions options;
+    options.retries = 3;
+    probe::ProbeEngine engine(net, mapper_host, options);
+    for (int i = 0; i < trials; ++i) {
+      hit_with += engine.switch_probe(simnet::Route{-1}) ? 1 : 0;
+    }
+    // Retried attempts are counted as sent probes.
+    EXPECT_GT(engine.counters().switch_probes,
+              static_cast<std::uint64_t>(trials));
+  }
+  EXPECT_GT(hit_with, hit_without);
+}
+
+TEST(Retries, NoEffectOnAQuiescentNetwork) {
+  const Topology t = topo::star(3, 2);
+  simnet::Network net(t);
+  probe::ProbeOptions options;
+  options.retries = 5;
+  probe::ProbeEngine engine(net, t.hosts().front(), options);
+  EXPECT_TRUE(engine.switch_probe(simnet::Route{-1}));
+  EXPECT_EQ(engine.counters().switch_probes, 1u);  // no retry triggered
+}
+
+}  // namespace
+}  // namespace sanmap::routing

@@ -1,0 +1,108 @@
+// Tests for the text serialization format and Graphviz export.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "topology/generators.hpp"
+#include "topology/serialize.hpp"
+
+namespace sanmap::topo {
+namespace {
+
+TEST(Serialize, RoundTripTiny) {
+  Topology t;
+  const NodeId h = t.add_host("alpha");
+  const NodeId s = t.add_switch("sw");
+  t.connect(h, 0, s, 5);
+  const Topology u = from_text(to_text(t));
+  EXPECT_TRUE(t.structurally_equal(u));
+}
+
+TEST(Serialize, RoundTripNowCluster) {
+  const Topology t = now_cluster();
+  const Topology u = from_text(to_text(t));
+  EXPECT_EQ(u.num_hosts(), t.num_hosts());
+  EXPECT_EQ(u.num_switches(), t.num_switches());
+  EXPECT_EQ(u.num_wires(), t.num_wires());
+  EXPECT_TRUE(t.structurally_equal(u));
+}
+
+TEST(Serialize, RoundTripRandom) {
+  common::Rng rng(77);
+  for (int i = 0; i < 5; ++i) {
+    const Topology t = random_irregular(12, 10, 6, rng);
+    EXPECT_TRUE(t.structurally_equal(from_text(to_text(t))));
+  }
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const Topology t = from_text(
+      "# a comment\n"
+      "\n"
+      "host a\n"
+      "switch s\n"
+      "# another\n"
+      "wire a 0 s 3\n");
+  EXPECT_EQ(t.num_hosts(), 1u);
+  EXPECT_EQ(t.num_wires(), 1u);
+}
+
+TEST(Serialize, UnknownKeywordFails) {
+  EXPECT_THROW(from_text("frobnicate x\n"), std::runtime_error);
+}
+
+TEST(Serialize, UnknownNodeInWireFails) {
+  EXPECT_THROW(from_text("host a\nwire a 0 ghost 1\n"), std::runtime_error);
+}
+
+TEST(Serialize, DuplicateNameFails) {
+  EXPECT_THROW(from_text("host a\nswitch a\n"), std::runtime_error);
+}
+
+TEST(Serialize, MalformedWireFails) {
+  EXPECT_THROW(from_text("host a\nswitch s\nwire a 0 s\n"),
+               std::runtime_error);
+}
+
+TEST(Serialize, PortConflictReportsLineNumber) {
+  try {
+    from_text("host a\nhost b\nswitch s\nwire a 0 s 0\nwire b 0 s 0\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos);
+  }
+}
+
+TEST(Serialize, SelfLoopRoundTrips) {
+  Topology t;
+  const NodeId s = t.add_switch("s");
+  t.connect(s, 1, s, 6);
+  EXPECT_TRUE(t.structurally_equal(from_text(to_text(t))));
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  Topology t;
+  const NodeId h = t.add_host("myhost");
+  const NodeId s = t.add_switch("mysw");
+  t.connect(h, 0, s, 2);
+  const std::string dot = to_dot(t);
+  EXPECT_NE(dot.find("graph sanmap"), std::string::npos);
+  EXPECT_NE(dot.find("myhost"), std::string::npos);
+  EXPECT_NE(dot.find("mysw"), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+  EXPECT_NE(dot.find(":p2"), std::string::npos);  // switch port anchor
+}
+
+TEST(Dot, HostsHaveNoPortAnchors) {
+  Topology t;
+  const NodeId h = t.add_host("hh");
+  const NodeId s = t.add_switch("ss");
+  t.connect(h, 0, s, 0);
+  const std::string dot = to_dot(t);
+  // The host endpoint is plain nN, not nN:pK.
+  EXPECT_EQ(dot.find("n0:p"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sanmap::topo

@@ -1,0 +1,169 @@
+// Tests for the interval-based background-traffic schedule and its effect
+// on probes and mapping.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mapper/berkeley_mapper.hpp"
+#include "probe/probe_engine.hpp"
+#include "simnet/network.hpp"
+#include "simnet/traffic.hpp"
+#include "topology/algorithms.hpp"
+#include "topology/generators.hpp"
+#include "topology/isomorphism.hpp"
+
+namespace sanmap::simnet {
+namespace {
+
+using common::SimTime;
+using topo::NodeId;
+using topo::Topology;
+
+/// h0 -- s0 -- s1 -- h1 with known ports.
+struct Line {
+  Topology topo;
+  NodeId h0, s0, s1, h1;
+
+  Line() {
+    h0 = topo.add_host("h0");
+    s0 = topo.add_switch();
+    s1 = topo.add_switch();
+    h1 = topo.add_host("h1");
+    topo.connect(h0, 0, s0, 2);
+    topo.connect(s0, 5, s1, 1);
+    topo.connect(s1, 4, h1, 0);
+  }
+};
+
+TEST(TrafficSchedule, FlowReservesItsChannels) {
+  Line line;
+  TrafficSchedule schedule;
+  const CostModel cost;
+  // h1 -> h0: route from h1: enter s1 at 4; -3 -> port 1 -> s0 enter 5;
+  // -3 -> port 2 -> h0.
+  ASSERT_TRUE(schedule.add_flow(line.topo, line.h1, Route{-3, -3},
+                                SimTime::ms(1), cost, 100));
+  schedule.finalize();
+  EXPECT_EQ(schedule.flows(), 1u);
+  EXPECT_EQ(schedule.reservations(), 3u);
+
+  // The middle wire (s0-s1) is busy in the s1->s0 direction one hop after
+  // the flow start (the worm's head reaches it then)...
+  const auto wire = *line.topo.wire_at(line.s0, 5);
+  const bool s1_is_a = line.topo.wire(wire).a.node == line.s1;
+  const auto head_arrival =
+      SimTime::ms(1) + cost.switch_latency + cost.flit_time();
+  const auto before = schedule.free_at(wire, s1_is_a, SimTime::ms(0));
+  EXPECT_EQ(before.to_ns(), 0);  // free long before the flow
+  const auto during = schedule.free_at(wire, s1_is_a, head_arrival);
+  EXPECT_GT(during, head_arrival);  // busy: pushed to the worm's end
+  // ... but free in the opposite direction (full duplex).
+  EXPECT_EQ(schedule.free_at(wire, !s1_is_a, head_arrival).to_ns(),
+            head_arrival.to_ns());
+}
+
+TEST(TrafficSchedule, DeadFlowsReserveNothing) {
+  Line line;
+  TrafficSchedule schedule;
+  // Illegal turn: reserves nothing.
+  EXPECT_FALSE(schedule.add_flow(line.topo, line.h0, Route{7, 7},
+                                 SimTime::ms(0), CostModel{}, 10));
+  // Stranded: ends at a switch.
+  EXPECT_FALSE(schedule.add_flow(line.topo, line.h0, Route{3},
+                                 SimTime::ms(0), CostModel{}, 10));
+  schedule.finalize();
+  EXPECT_EQ(schedule.reservations(), 0u);
+}
+
+TEST(TrafficSchedule, ChainedOccupanciesAreWaitedOutInSequence) {
+  Line line;
+  TrafficSchedule schedule;
+  const CostModel cost;
+  // Two back-to-back flows over the same path.
+  ASSERT_TRUE(schedule.add_flow(line.topo, line.h1, Route{-3, -3},
+                                SimTime::ms(1), cost, 1000));
+  ASSERT_TRUE(schedule.add_flow(line.topo, line.h1, Route{-3, -3},
+                                SimTime::from_us(1005.0), cost, 1000));
+  schedule.finalize();
+  const auto wire = *line.topo.wire_at(line.h1, 0);
+  const bool h1_is_a = line.topo.wire(wire).a.node == line.h1;
+  const auto free = schedule.free_at(wire, h1_is_a, SimTime::ms(1));
+  // Must clear BOTH worms (each holds ~1008 flits * 6.25 ns ≈ 6.3 us).
+  EXPECT_GT(free, SimTime::from_us(1005.0) + SimTime::from_us(6.0));
+}
+
+TEST(NetworkWithTraffic, ProbesWaitBehindWorms) {
+  Line line;
+  TrafficSchedule schedule;
+  const CostModel cost;
+  // A long worm crossing s0->s1 right when our probe will want it.
+  ASSERT_TRUE(schedule.add_flow(line.topo, line.h0, Route{3, 3},
+                                SimTime::ns(0), cost, 4000));
+  schedule.finalize();
+
+  Network net(line.topo);
+  net.attach_traffic(&schedule);
+  const auto delayed = net.send(line.h0, Route{3, 3}, nullptr, SimTime::ns(0));
+  ASSERT_TRUE(delayed.delivered());
+
+  Network quiet(line.topo);
+  const auto clean = quiet.send(line.h0, Route{3, 3});
+  EXPECT_GT(delayed.latency, clean.latency);  // it waited, not died
+
+  // Sending well after the worm has drained costs nothing extra.
+  const auto later =
+      net.send(line.h0, Route{3, 3}, nullptr, SimTime::ms(10));
+  EXPECT_EQ(later.latency.to_ns(), clean.latency.to_ns());
+}
+
+TEST(NetworkWithTraffic, LongBlockagesForwardResetTheProbe) {
+  Line line;
+  TrafficSchedule schedule;
+  CostModel cost;
+  // A worm so long it holds the channel past the 55 ms blocked-port
+  // timeout: ~10M flits at 6.25 ns/flit ≈ 63 ms.
+  ASSERT_TRUE(schedule.add_flow(line.topo, line.h0, Route{3, 3},
+                                SimTime::ns(0), cost, 10'000'000));
+  schedule.finalize();
+  Network net(line.topo);
+  net.attach_traffic(&schedule);
+  const auto result =
+      net.send(line.h0, Route{3, 3}, nullptr, SimTime::ns(0));
+  EXPECT_EQ(result.status, DeliveryStatus::kTrafficCollision);
+}
+
+TEST(NetworkWithTraffic, MappingSurvivesModerateScheduledTraffic) {
+  const Topology t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  const NodeId mapper_host = *t.find_host("C.util");
+  common::Rng rng(77);
+  TrafficSchedule schedule;
+  // A few thousand short flows over the mapping window (~300 ms).
+  add_random_traffic(schedule, t, 3000, common::SimTime::ms(400), rng,
+                     CostModel{}, 256);
+  schedule.finalize();
+
+  Network net(t);
+  net.attach_traffic(&schedule);
+  probe::ProbeEngine engine(net, mapper_host);
+  mapper::MapperConfig config;
+  config.search_depth = topo::search_depth(t, mapper_host);
+  const auto result = mapper::BerkeleyMapper(engine, config).run();
+  // Short worms only delay probes (waits are microseconds, far below the
+  // 55 ms reset): the map must still be exact, merely slower.
+  EXPECT_TRUE(topo::isomorphic(result.map, topo::core(t)));
+}
+
+TEST(NetworkWithTraffic, GeneratorSchedulesRequestedFlows) {
+  const Topology t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  common::Rng rng(3);
+  TrafficSchedule schedule;
+  const auto added = add_random_traffic(schedule, t, 500,
+                                        common::SimTime::ms(100), rng,
+                                        CostModel{}, 64);
+  schedule.finalize();
+  EXPECT_EQ(added, 500u);  // all host pairs are reachable here
+  EXPECT_EQ(schedule.flows(), 500u);
+  EXPECT_GT(schedule.reservations(), 500u);  // multi-hop paths
+}
+
+}  // namespace
+}  // namespace sanmap::simnet

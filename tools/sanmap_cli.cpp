@@ -1,0 +1,394 @@
+// sanmap — command-line front end to the library.
+//
+//   sanmap gen    --topology now|now-c|now-a|now-b|hypercube|mesh|torus|
+//                             ring|star|fattree|random [shape flags]
+//                 [--out FILE]
+//   sanmap info   --in FILE [--mapper HOST]
+//   sanmap map    --in FILE [--mapper HOST] [--algorithm berkeley|labeled|
+//                             myricom|identity|randomized]
+//                 [--collision cut-through|circuit] [--out FILE]
+//   sanmap routes --in FILE [--root NAME] [--sample N]
+//   sanmap dot    --in FILE [--out FILE]
+//
+// Files use the "sanmap topology v1" text format (see
+// src/topology/serialize.hpp); "-" means stdin/stdout.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/flags.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "mapper/berkeley_mapper.hpp"
+#include "mapper/id_mapper.hpp"
+#include "mapper/incremental.hpp"
+#include "mapper/labeled_mapper.hpp"
+#include "mapper/randomized_mapper.hpp"
+#include "myricom/myricom_mapper.hpp"
+#include "probe/probe_engine.hpp"
+#include "routing/deadlock.hpp"
+#include "routing/routes.hpp"
+#include "simnet/network.hpp"
+#include "topology/algorithms.hpp"
+#include "topology/generators.hpp"
+#include "topology/isomorphism.hpp"
+#include "topology/serialize.hpp"
+
+namespace {
+
+using namespace sanmap;
+
+topo::Topology read_input(const std::string& path) {
+  if (path == "-") {
+    return topo::read_topology(std::cin);
+  }
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return topo::read_topology(in);
+}
+
+void write_output(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::cout << content;
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  out << content;
+  std::cerr << "wrote " << path << "\n";
+}
+
+topo::NodeId pick_mapper(const topo::Topology& t, const std::string& name) {
+  if (!name.empty()) {
+    const auto host = t.find_host(name);
+    if (!host) {
+      throw std::runtime_error("no host named " + name);
+    }
+    return *host;
+  }
+  if (const auto util = t.find_host("C.util")) {
+    return *util;
+  }
+  if (t.num_hosts() == 0) {
+    throw std::runtime_error("topology has no hosts to map from");
+  }
+  return t.hosts().front();
+}
+
+int cmd_gen(int argc, const char* const* argv) {
+  common::Flags flags;
+  flags.define("topology", "now",
+               "now|now-c|now-a|now-b|hypercube|mesh|torus|ring|star|"
+               "fattree|random");
+  flags.define("out", "-", "output file, - for stdout");
+  flags.define("dim", "3", "hypercube dimension");
+  flags.define("width", "4", "mesh/torus width");
+  flags.define("height", "4", "mesh/torus height");
+  flags.define("switches", "10", "ring/random switch count");
+  flags.define("hosts", "2", "hosts per switch (regular topologies)");
+  flags.define("random-hosts", "10", "total hosts (random)");
+  flags.define("extra-links", "5", "extra links (random)");
+  flags.define("seed", "1", "seed (random)");
+  if (!flags.parse(argc, argv)) {
+    return 0;
+  }
+  const std::string kind = flags.get("topology");
+  const int hosts = static_cast<int>(flags.get_int("hosts"));
+  topo::Topology t;
+  if (kind == "now") {
+    t = topo::now_cluster();
+  } else if (kind == "now-c") {
+    t = topo::now_subcluster(topo::Subcluster::kC, "C");
+  } else if (kind == "now-a") {
+    t = topo::now_subcluster(topo::Subcluster::kA, "A");
+  } else if (kind == "now-b") {
+    t = topo::now_subcluster(topo::Subcluster::kB, "B");
+  } else if (kind == "hypercube") {
+    t = topo::hypercube(static_cast<int>(flags.get_int("dim")), hosts);
+  } else if (kind == "mesh") {
+    t = topo::mesh(static_cast<int>(flags.get_int("width")),
+                   static_cast<int>(flags.get_int("height")), hosts);
+  } else if (kind == "torus") {
+    t = topo::torus(static_cast<int>(flags.get_int("width")),
+                    static_cast<int>(flags.get_int("height")), hosts);
+  } else if (kind == "ring") {
+    t = topo::ring(static_cast<int>(flags.get_int("switches")), hosts);
+  } else if (kind == "star") {
+    t = topo::star(static_cast<int>(flags.get_int("switches")) % 9, hosts);
+  } else if (kind == "fattree") {
+    t = topo::fat_tree({});
+  } else if (kind == "random") {
+    common::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+    t = topo::random_irregular(
+        static_cast<int>(flags.get_int("switches")),
+        static_cast<int>(flags.get_int("random-hosts")),
+        static_cast<int>(flags.get_int("extra-links")), rng);
+  } else {
+    throw std::runtime_error("unknown topology kind: " + kind);
+  }
+  write_output(flags.get("out"), topo::to_text(t));
+  return 0;
+}
+
+int cmd_info(int argc, const char* const* argv) {
+  common::Flags flags;
+  flags.define("in", "-", "input topology file");
+  flags.define("mapper", "", "mapper host name (for Q / search depth)");
+  if (!flags.parse(argc, argv)) {
+    return 0;
+  }
+  const topo::Topology t = read_input(flags.get("in"));
+  std::cout << "hosts        : " << t.num_hosts() << "\n";
+  std::cout << "switches     : " << t.num_switches() << "\n";
+  std::cout << "links        : " << t.num_wires() << "\n";
+  std::cout << "connected    : " << (topo::connected(t) ? "yes" : "no")
+            << "\n";
+  if (topo::connected(t) && t.num_nodes() > 0) {
+    std::cout << "diameter     : " << topo::diameter(t) << "\n";
+  }
+  std::cout << "bridges      : " << topo::bridges(t).size() << " ("
+            << topo::switch_bridges(t).size() << " switch-bridges)\n";
+  const auto f = topo::separated_set(t);
+  const auto f_count = std::count(f.begin(), f.end(), true);
+  std::cout << "|F|          : " << f_count
+            << " (nodes behind switch-bridges; the mappable core is N-F)\n";
+  if (topo::connected(t) && t.num_hosts() >= 2 && t.num_switches() >= 1) {
+    const topo::NodeId mapper = pick_mapper(t, flags.get("mapper"));
+    std::cout << "mapper       : " << t.name(mapper) << "\n";
+    const int q = topo::q_value(t, mapper);
+    std::cout << "Q            : " << q << "\n";
+    std::cout << "search depth : " << q + topo::diameter(t) + 1
+              << " (Q + D + 1)\n";
+  }
+  return 0;
+}
+
+int cmd_map(int argc, const char* const* argv) {
+  common::Flags flags;
+  flags.define("in", "-", "input topology file");
+  flags.define("mapper", "", "mapper host name");
+  flags.define("algorithm", "berkeley",
+               "berkeley|labeled|myricom|identity|randomized");
+  flags.define("collision", "cut-through", "cut-through|circuit");
+  flags.define("previous", "",
+               "previous map file: verify it and repair locally instead of "
+               "mapping from scratch (berkeley algorithm only)");
+  flags.define("out", "", "write the mapped topology here");
+  flags.define("verify", "true", "check the map against the ground truth");
+  if (!flags.parse(argc, argv)) {
+    return 0;
+  }
+  const topo::Topology t = read_input(flags.get("in"));
+  const topo::NodeId mapper = pick_mapper(t, flags.get("mapper"));
+  const auto collision = flags.get("collision") == "circuit"
+                             ? simnet::CollisionModel::kCircuit
+                             : simnet::CollisionModel::kCutThrough;
+  const std::string algorithm = flags.get("algorithm");
+
+  simnet::HardwareExtensions ext;
+  ext.self_identifying_switches = algorithm == "identity";
+  ext.hosts_answer_early_hits = algorithm == "randomized";
+  simnet::Network net(t, collision, simnet::CostModel{},
+                      simnet::FaultModel{}, 1, ext);
+  probe::ProbeEngine engine(net, mapper);
+
+  topo::Topology map;
+  std::uint64_t probes = 0;
+  common::SimTime elapsed;
+  bool expects_full_n = false;  // identity/myricom map N, others N - F
+  if (!flags.get("previous").empty()) {
+    if (algorithm != "berkeley") {
+      throw std::runtime_error("--previous works with --algorithm berkeley");
+    }
+    mapper::IncrementalConfig config;
+    config.base.search_depth = topo::search_depth(t, mapper);
+    const auto result =
+        mapper::IncrementalMapper(engine, read_input(flags.get("previous")),
+                                  config)
+            .run();
+    std::cerr << "verify    : " << result.verification_probes
+              << " probes, "
+              << (result.unchanged
+                      ? "map unchanged"
+                      : std::to_string(result.discrepancies.size()) +
+                            " discrepancies repaired")
+              << "\n";
+    for (const std::string& d : result.discrepancies) {
+      std::cerr << "            - " << d << "\n";
+    }
+    map = result.map;
+    probes = result.probes.total();
+    elapsed = result.elapsed;
+  } else if (algorithm == "berkeley" || algorithm == "labeled") {
+    mapper::MapperConfig config;
+    config.search_depth = topo::search_depth(t, mapper);
+    const auto result =
+        algorithm == "labeled"
+            ? mapper::LabeledMapper(engine, config).run()
+            : mapper::BerkeleyMapper(engine, config).run();
+    map = result.map;
+    probes = result.probes.total();
+    elapsed = result.elapsed;
+  } else if (algorithm == "randomized") {
+    mapper::RandomizedConfig config;
+    config.base.search_depth = topo::search_depth(t, mapper);
+    config.wild_probes = static_cast<int>(t.num_hosts()) * 4;
+    const auto result = mapper::RandomizedMapper(engine, config).run();
+    map = result.map;
+    probes = result.probes.total();
+    elapsed = result.elapsed;
+  } else if (algorithm == "identity") {
+    const auto result = mapper::IdMapper(engine).run();
+    map = result.map;
+    probes = result.probes.total();
+    elapsed = result.elapsed;
+    expects_full_n = true;
+  } else if (algorithm == "myricom") {
+    const auto result = myricom::MyricomMapper(net, mapper).run();
+    map = result.map;
+    probes = result.probes.total();
+    elapsed = result.elapsed;
+    expects_full_n = true;
+  } else {
+    throw std::runtime_error("unknown algorithm: " + algorithm);
+  }
+
+  std::cerr << "algorithm : " << algorithm << " (" << to_string(collision)
+            << ")\n";
+  std::cerr << "mapped    : " << map.num_hosts() << " hosts, "
+            << map.num_switches() << " switches, " << map.num_wires()
+            << " links\n";
+  std::cerr << "probes    : " << probes << "\n";
+  std::cerr << "time      : " << elapsed.str() << " (simulated)\n";
+  if (flags.get_bool("verify")) {
+    const bool ok = expects_full_n
+                        ? topo::isomorphic(map, t)
+                        : topo::isomorphic(map, topo::core(t));
+    std::cerr << "verified  : "
+              << (ok ? "isomorphic to the ground truth" : "MISMATCH")
+              << "\n";
+    if (!ok) {
+      return 1;
+    }
+  }
+  if (const std::string out = flags.get("out"); !out.empty()) {
+    write_output(out, topo::to_text(map));
+  }
+  return 0;
+}
+
+int cmd_routes(int argc, const char* const* argv) {
+  common::Flags flags;
+  flags.define("in", "-", "input topology file (typically a mapped one)");
+  flags.define("root", "", "UP*/DOWN* root switch name (default: farthest "
+                           "from hosts)");
+  flags.define("sample", "10", "sample routes to print");
+  flags.define("seed", "1", "load-balance seed");
+  if (!flags.parse(argc, argv)) {
+    return 0;
+  }
+  const topo::Topology t = read_input(flags.get("in"));
+  routing::UpDownOptions options;
+  if (const std::string root = flags.get("root"); !root.empty()) {
+    for (const topo::NodeId s : t.switches()) {
+      if (t.name(s) == root) {
+        options.root = s;
+      }
+    }
+    if (!options.root) {
+      throw std::runtime_error("no switch named " + root);
+    }
+  }
+  const auto routes = routing::compute_updown_routes(
+      t, options, static_cast<std::uint64_t>(flags.get_int("seed")));
+  const auto analysis = routing::analyze_routes(t, routes);
+  std::cout << "root          : " << t.name(routes.orientation.root())
+            << "\n";
+  std::cout << "routes        : " << routes.routes.size() << " (mean "
+            << common::fmt(routes.mean_hops(), 2) << " hops, max "
+            << routes.max_hops() << ")\n";
+  std::cout << "deadlock-free : "
+            << (analysis.deadlock_free ? "yes" : "NO — cycle found") << " ("
+            << analysis.dependencies << " channel dependencies)\n";
+  std::cout << "compliant     : "
+            << (routing::updown_compliant(routes) ? "yes" : "NO") << "\n";
+
+  common::Table sample({"source", "destination", "hops", "turns"});
+  std::int64_t remaining = flags.get_int("sample");
+  for (const auto& [key, route] : routes.routes) {
+    if (remaining-- <= 0) {
+      break;
+    }
+    sample.add_row({t.name(key.first), t.name(key.second),
+                    std::to_string(route.hops()),
+                    simnet::to_string(route.turns)});
+  }
+  std::cout << "\n" << sample;
+  return analysis.deadlock_free ? 0 : 1;
+}
+
+int cmd_dot(int argc, const char* const* argv) {
+  common::Flags flags;
+  flags.define("in", "-", "input topology file");
+  flags.define("out", "-", "output dot file");
+  if (!flags.parse(argc, argv)) {
+    return 0;
+  }
+  write_output(flags.get("out"), topo::to_dot(read_input(flags.get("in"))));
+  return 0;
+}
+
+void usage() {
+  std::cerr << "usage: sanmap <gen|info|map|routes|dot> [flags]\n"
+               "run a subcommand with --help for its flags\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  // A global --verbose anywhere on the line lowers the log threshold; it is
+  // stripped before subcommand flag parsing.
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--verbose") {
+      common::set_log_threshold(common::LogLevel::kDebug);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  const int sub_argc = static_cast<int>(args.size());
+  const char* const* sub_argv = args.data();
+  try {
+    if (command == "gen") {
+      return cmd_gen(sub_argc, sub_argv);
+    }
+    if (command == "info") {
+      return cmd_info(sub_argc, sub_argv);
+    }
+    if (command == "map") {
+      return cmd_map(sub_argc, sub_argv);
+    }
+    if (command == "routes") {
+      return cmd_routes(sub_argc, sub_argv);
+    }
+    if (command == "dot") {
+      return cmd_dot(sub_argc, sub_argv);
+    }
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "sanmap " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}
