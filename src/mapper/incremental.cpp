@@ -6,22 +6,61 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "mapper/explorer.hpp"
 #include "mapper/model_graph.hpp"
 
 namespace sanmap::mapper {
 
-namespace {
+const char* to_string(DiscrepancyKind kind) {
+  switch (kind) {
+    case DiscrepancyKind::kNewDevice:
+      return "new-device";
+    case DiscrepancyKind::kHostMissing:
+      return "host-missing";
+    case DiscrepancyKind::kWireBroken:
+      return "wire-broken";
+  }
+  return "?";
+}
 
-/// Per-map-node routing data derived from the previous map: the probe
-/// prefix that enters the node and the map-port it enters through.
-struct Reach {
-  simnet::Route prefix;
-  topo::Port entry = 0;
-  bool reachable = false;
-};
-
-}  // namespace
+std::vector<MapReach> map_reach(const topo::Topology& map,
+                                topo::NodeId map_mapper,
+                                std::vector<topo::NodeId>* switch_order) {
+  SANMAP_CHECK_MSG(map.node_alive(map_mapper) && map.is_host(map_mapper),
+                   "map_reach needs a live host of the map as root");
+  std::vector<MapReach> reach(map.node_capacity());
+  reach[map_mapper].reachable = true;
+  std::deque<topo::NodeId> queue{map_mapper};
+  while (!queue.empty()) {
+    const topo::NodeId n = queue.front();
+    queue.pop_front();
+    if (map.is_host(n) && n != map_mapper) {
+      continue;  // hosts do not forward
+    }
+    for (topo::Port p = 0; p < map.port_count(n); ++p) {
+      const auto far = map.peer(n, p);
+      if (!far || reach[far->node].reachable) {
+        continue;
+      }
+      MapReach& r = reach[far->node];
+      r.reachable = true;
+      r.entry = far->port;
+      if (n == map_mapper) {
+        r.prefix = {};
+      } else {
+        r.prefix = simnet::extended(reach[n].prefix, p - reach[n].entry);
+      }
+      if (map.is_switch(far->node)) {
+        if (switch_order) {
+          switch_order->push_back(far->node);
+        }
+        queue.push_back(far->node);
+      }
+    }
+  }
+  return reach;
+}
 
 IncrementalMapper::IncrementalMapper(probe::ProbeEngine& engine,
                                      topo::Topology previous_map,
@@ -34,6 +73,13 @@ IncrementalMapper::IncrementalMapper(probe::ProbeEngine& engine,
   SANMAP_CHECK_MSG(previous_.find_host(mapper_name).has_value(),
                    "previous map does not contain the mapper host "
                        << mapper_name);
+  SANMAP_CHECK_MSG(
+      config_.verify_fraction > 0.0 && config_.verify_fraction <= 1.0,
+      "IncrementalConfig::verify_fraction must be in (0, 1]; got "
+          << config_.verify_fraction);
+  SANMAP_CHECK_MSG(config_.verify_fraction >= 1.0 || !config_.repair,
+                   "sampled verification (verify_fraction < 1) cannot "
+                   "repair: the repair phase needs the full confirmed set");
 }
 
 IncrementalResult IncrementalMapper::run() {
@@ -45,44 +91,28 @@ IncrementalResult IncrementalMapper::run() {
   const topo::NodeId map_mapper = *previous_.find_host(mapper_name);
 
   // ---- derive prefixes and entry ports by BFS over the previous map -----
-  std::vector<Reach> reach(previous_.node_capacity());
-  reach[map_mapper].reachable = true;
-  std::deque<topo::NodeId> queue{map_mapper};
   std::vector<topo::NodeId> switch_order;
-  while (!queue.empty()) {
-    const topo::NodeId n = queue.front();
-    queue.pop_front();
-    if (previous_.is_host(n) && n != map_mapper) {
-      continue;  // hosts do not forward
-    }
-    for (topo::Port p = 0; p < previous_.port_count(n); ++p) {
-      const auto far = previous_.peer(n, p);
-      if (!far || reach[far->node].reachable) {
-        continue;
-      }
-      Reach& r = reach[far->node];
-      r.reachable = true;
-      r.entry = far->port;
-      if (n == map_mapper) {
-        r.prefix = {};
-      } else {
-        r.prefix = simnet::extended(reach[n].prefix, p - reach[n].entry);
-      }
-      if (previous_.is_switch(far->node)) {
-        switch_order.push_back(far->node);
-        queue.push_back(far->node);
-      }
-    }
-  }
+  const std::vector<MapReach> reach =
+      map_reach(previous_, map_mapper, &switch_order);
+
+  // Sampling draw for verify_fraction < 1 (full sweeps never consume it,
+  // so full-sweep behaviour is bit-identical to before the knob existed).
+  common::Rng sample(config_.sample_seed);
+  const auto sampled = [&] {
+    return config_.verify_fraction >= 1.0 ||
+           sample.chance(config_.verify_fraction);
+  };
 
   // ---- verification sweep ------------------------------------------------
   // Switches incident to a discrepancy; their confirmed slot sets.
   std::vector<bool> suspicious(previous_.node_capacity(), false);
   std::vector<std::vector<bool>> confirmed(previous_.node_capacity());
-  const auto flag = [&](topo::NodeId s, const std::string& what) {
+  const auto flag = [&](DiscrepancyKind kind, topo::NodeId s, topo::Port p,
+                        const std::string& what) {
     suspicious[s] = true;
     SANMAP_LOG(kInfo, "incremental", what);
     result.discrepancies.push_back(what);
+    result.findings.push_back(Discrepancy{kind, s, p, what});
   };
 
   for (const topo::NodeId s : switch_order) {
@@ -90,18 +120,21 @@ IncrementalResult IncrementalMapper::run() {
       confirmed[s].assign(
           static_cast<std::size_t>(previous_.port_count(s)), false);
     }
-    const Reach& rs = reach[s];
+    const MapReach& rs = reach[s];
     for (topo::Port p = 0; p < previous_.port_count(s); ++p) {
       const simnet::Turn turn = p - rs.entry;
       const auto far = previous_.peer(s, p);
       if (!far) {
         // Recorded free: confirm that nothing new appeared here.
+        if (!sampled()) {
+          continue;
+        }
         const auto r = engine_->probe(simnet::extended(rs.prefix, turn));
         if (r.kind != probe::ResponseKind::kNothing) {
           std::ostringstream oss;
           oss << "new device on a recorded-free port of switch "
               << previous_.name(s);
-          flag(s, oss.str());
+          flag(DiscrepancyKind::kNewDevice, s, p, oss.str());
         }
         continue;
       }
@@ -114,21 +147,27 @@ IncrementalResult IncrementalMapper::run() {
         continue;  // self-loop cable: verified once from its lower port
       }
       if (previous_.is_host(far->node)) {
+        if (!sampled()) {
+          continue;
+        }
         const auto name =
             engine_->host_probe(simnet::extended(rs.prefix, turn));
         if (!name || *name != previous_.name(far->node)) {
           std::ostringstream oss;
           oss << "host " << previous_.name(far->node)
               << " no longer answers on switch " << previous_.name(s);
-          flag(s, oss.str());
+          flag(DiscrepancyKind::kHostMissing, s, p, oss.str());
         } else {
           confirmed[s][static_cast<std::size_t>(p)] = true;
         }
         continue;
       }
+      if (!sampled()) {
+        continue;
+      }
       // Switch-to-switch wire: one echo probe out across the wire and back
       // along the far switch's own prefix.
-      const Reach& rt = reach[far->node];
+      const MapReach& rt = reach[far->node];
       SANMAP_CHECK(rt.reachable);
       simnet::Route echo = simnet::extended(rs.prefix, turn);
       echo.push_back(rt.entry - far->port);
@@ -147,8 +186,9 @@ IncrementalResult IncrementalMapper::run() {
         oss << "wire " << previous_.name(s) << ":" << p << " - "
             << previous_.name(far->node) << ":" << far->port
             << " failed its echo";
-        flag(s, oss.str());
-        flag(far->node, oss.str() + " (far side)");
+        flag(DiscrepancyKind::kWireBroken, s, p, oss.str());
+        flag(DiscrepancyKind::kWireBroken, far->node, far->port,
+             oss.str() + " (far side)");
       }
     }
     // Entry wires count as confirmed once any probe through them returned;

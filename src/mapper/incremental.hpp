@@ -36,11 +36,57 @@
 
 namespace sanmap::mapper {
 
+/// Routing data for one node of a map, derived by BFS from the mapper
+/// host: the probe prefix that enters the node and the map-port it enters
+/// through. Because turns are port *differences*, these prefixes are valid
+/// on the real network even though the map's per-switch port offsets are
+/// unknown.
+struct MapReach {
+  simnet::Route prefix;
+  topo::Port entry = 0;
+  bool reachable = false;
+};
+
+/// BFS over `map` from `map_mapper` (a host of `map`), producing per-node
+/// reach data indexed by map node id. When `switch_order` is non-null it
+/// receives the reachable switches in discovery order — the order every
+/// sweep in this file probes them. Shared by the verification sweep here
+/// and by RobustMapper's fault sweeps.
+std::vector<MapReach> map_reach(const topo::Topology& map,
+                                topo::NodeId map_mapper,
+                                std::vector<topo::NodeId>* switch_order);
+
+/// What a verification probe contradicted.
+enum class DiscrepancyKind : std::uint8_t {
+  kNewDevice,    // something answered on a recorded-free port
+  kHostMissing,  // recorded host absent or renamed
+  kWireBroken,   // switch-to-switch echo failed
+};
+
+const char* to_string(DiscrepancyKind kind);
+
+/// One verification finding, anchored to the map-space port whose recorded
+/// state the probe contradicted.
+struct Discrepancy {
+  DiscrepancyKind kind = DiscrepancyKind::kWireBroken;
+  topo::NodeId node = topo::kInvalidNode;  // map-space switch id
+  topo::Port port = 0;
+  std::string detail;  // the human-readable line (same text as the legacy
+                       // IncrementalResult::discrepancies entry)
+};
+
 struct IncrementalConfig {
   MapperConfig base;
   /// Repair locally on discrepancies; when false, run() stops after
   /// verification (result.map is the previous map, possibly stale).
   bool repair = true;
+  /// Fraction of verification checks actually probed, in (0, 1]. 1 is the
+  /// full sweep. A sampled sweep (< 1) is a cheap statistical consistency
+  /// check — each port is probed independently with this probability — and
+  /// is only legal with repair off (repair needs the full confirmed set).
+  double verify_fraction = 1.0;
+  /// Seed for the sampling draw (deterministic given the seed).
+  std::uint64_t sample_seed = 0x5eed;
 };
 
 struct IncrementalResult {
@@ -51,6 +97,9 @@ struct IncrementalResult {
   std::uint64_t verification_probes = 0;
   /// Human-readable descriptions of what verification caught.
   std::vector<std::string> discrepancies;
+  /// The same findings, structured (one entry per flagged port; a broken
+  /// switch-to-switch wire contributes one finding per side).
+  std::vector<Discrepancy> findings;
   probe::ProbeCounters probes;
   common::SimTime elapsed{};
 };

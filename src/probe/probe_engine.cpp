@@ -81,43 +81,55 @@ void ProbeEngine::charge_probe(common::SimTime cost) {
   elapsed_ += cost;
 }
 
+template <typename Accept>
+std::optional<simnet::DeliveryResult> ProbeEngine::send_with_retries(
+    const simnet::Route& route, std::uint64_t& sent, Accept&& accepted) {
+  const auto& cost = net_->cost();
+  for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+    ++sent;
+    const auto result =
+        net_->send(mapper_host_, route, nullptr, clock_base_ + elapsed_);
+    if (accepted(result)) {
+      return result;
+    }
+    charge_probe(cost.send_overhead + cost.probe_timeout);
+  }
+  return std::nullopt;
+}
+
 bool ProbeEngine::switch_probe(const simnet::Route& prefix) {
   const auto& cost = net_->cost();
   const simnet::Route route = simnet::loopback_probe(prefix);
-  for (int attempt = 0; attempt <= options_.retries; ++attempt) {
-    ++counters_.switch_probes;
-    const auto result = net_->send(mapper_host_, route, nullptr, elapsed_);
-    const bool hit =
-        result.delivered() && result.destination == mapper_host_;
-    if (options_.record_transcript) {
-      transcript_.push_back(TranscriptEntry{route, 's', hit, {}});
-    }
-    if (hit) {
-      ++counters_.switch_hits;
-      charge_probe(cost.send_overhead + result.latency +
-                   cost.receive_overhead);
-      return true;
-    }
-    charge_probe(cost.send_overhead + cost.probe_timeout);
+  const auto result = send_with_retries(
+      route, counters_.switch_probes, [&](const simnet::DeliveryResult& r) {
+        return r.delivered() && r.destination == mapper_host_;
+      });
+  if (options_.record_transcript) {
+    transcript_.push_back(TranscriptEntry{route, 's', result.has_value(), {}});
   }
-  return false;
+  if (!result) {
+    return false;
+  }
+  ++counters_.switch_hits;
+  charge_probe(cost.send_overhead + result->latency + cost.receive_overhead);
+  return true;
 }
 
 bool ProbeEngine::echo_probe(const simnet::Route& route) {
-  ++counters_.switch_probes;
   const auto& cost = net_->cost();
-  const auto result = net_->send(mapper_host_, route, nullptr, elapsed_);
-  const bool hit = result.delivered() && result.destination == mapper_host_;
+  const auto result = send_with_retries(
+      route, counters_.switch_probes, [&](const simnet::DeliveryResult& r) {
+        return r.delivered() && r.destination == mapper_host_;
+      });
   if (options_.record_transcript) {
-    transcript_.push_back(TranscriptEntry{route, 'e', hit, {}});
+    transcript_.push_back(TranscriptEntry{route, 'e', result.has_value(), {}});
   }
-  if (hit) {
-    ++counters_.switch_hits;
-    charge_probe(cost.send_overhead + result.latency + cost.receive_overhead);
-  } else {
-    charge_probe(cost.send_overhead + cost.probe_timeout);
+  if (!result) {
+    return false;
   }
-  return hit;
+  ++counters_.switch_hits;
+  charge_probe(cost.send_overhead + result->latency + cost.receive_overhead);
+  return true;
 }
 
 std::optional<topo::NodeId> ProbeEngine::identifying_switch_probe(
@@ -126,23 +138,22 @@ std::optional<topo::NodeId> ProbeEngine::identifying_switch_probe(
       net_->extensions().self_identifying_switches,
       "identifying_switch_probe needs self-identifying switch hardware "
       "(simnet::HardwareExtensions)");
-  ++counters_.switch_probes;
   const auto& cost = net_->cost();
-  const auto result =
-      net_->send(mapper_host_, simnet::loopback_probe(prefix), nullptr, elapsed_);
-  const bool hit = result.delivered() && result.destination == mapper_host_;
+  const simnet::Route route = simnet::loopback_probe(prefix);
+  const auto result = send_with_retries(
+      route, counters_.switch_probes, [&](const simnet::DeliveryResult& r) {
+        return r.delivered() && r.destination == mapper_host_;
+      });
   if (options_.record_transcript) {
-    transcript_.push_back(
-        TranscriptEntry{simnet::loopback_probe(prefix), 'i', hit, {}});
+    transcript_.push_back(TranscriptEntry{route, 'i', result.has_value(), {}});
   }
-  if (hit) {
-    ++counters_.switch_hits;
-    charge_probe(cost.send_overhead + result.latency + cost.receive_overhead);
-    SANMAP_CHECK(result.bounce_switch != topo::kInvalidNode);
-    return result.bounce_switch;
+  if (!result) {
+    return std::nullopt;
   }
-  charge_probe(cost.send_overhead + cost.probe_timeout);
-  return std::nullopt;
+  ++counters_.switch_hits;
+  charge_probe(cost.send_overhead + result->latency + cost.receive_overhead);
+  SANMAP_CHECK(result->bounce_switch != topo::kInvalidNode);
+  return result->bounce_switch;
 }
 
 std::optional<ProbeEngine::WildResponse> ProbeEngine::wild_probe(
@@ -150,13 +161,16 @@ std::optional<ProbeEngine::WildResponse> ProbeEngine::wild_probe(
   SANMAP_CHECK_MSG(net_->extensions().hosts_answer_early_hits,
                    "wild_probe needs the hit-a-host-too-soon firmware "
                    "change (simnet::HardwareExtensions)");
-  ++counters_.wild_probes;
   const auto& cost = net_->cost();
-  const auto result = net_->send(mapper_host_, route, nullptr, elapsed_);
-  const bool reached_host =
-      result.status == simnet::DeliveryStatus::kDelivered ||
-      result.status == simnet::DeliveryStatus::kHitHostTooSoon;
-  if (!reached_host || !participates(result.destination)) {
+  // Any host the worm reaches reads it — even too soon. Reaching a
+  // non-participating host still ends the retry loop: resending cannot wake
+  // a daemon that is not running.
+  const auto result = send_with_retries(
+      route, counters_.wild_probes, [](const simnet::DeliveryResult& r) {
+        return r.status == simnet::DeliveryStatus::kDelivered ||
+               r.status == simnet::DeliveryStatus::kHitHostTooSoon;
+      });
+  if (!result || !participates(result->destination)) {
     if (options_.record_transcript) {
       transcript_.push_back(TranscriptEntry{route, 'w', false, {}});
     }
@@ -165,36 +179,30 @@ std::optional<ProbeEngine::WildResponse> ProbeEngine::wild_probe(
   }
   if (options_.record_transcript) {
     transcript_.push_back(TranscriptEntry{
-        route, 'w', true, net_->topology().name(result.destination)});
+        route, 'w', true, net_->topology().name(result->destination)});
   }
   ++counters_.wild_hits;
-  charge_probe(cost.send_overhead + result.latency + cost.receive_overhead +
-               cost.send_overhead + result.latency + cost.receive_overhead);
+  charge_probe(cost.send_overhead + result->latency + cost.receive_overhead +
+               cost.send_overhead + result->latency + cost.receive_overhead);
   // The message path visited hops wires; the host sits after consuming
   // hops - 1 turns (the first wire leaves the mapper before any turn).
-  return WildResponse{net_->topology().name(result.destination),
-                      result.hops - 1};
+  return WildResponse{net_->topology().name(result->destination),
+                      result->hops - 1};
 }
 
 std::optional<std::string> ProbeEngine::host_probe(
     const simnet::Route& prefix) {
-  ++counters_.host_probes;
   const auto& cost = net_->cost();
-  auto result = net_->send(mapper_host_, prefix, nullptr, elapsed_);
-  for (int attempt = 0; attempt < options_.retries && !result.delivered();
-       ++attempt) {
-    charge_probe(cost.send_overhead + cost.probe_timeout);
-    ++counters_.host_probes;
-    result = net_->send(mapper_host_, prefix, nullptr, elapsed_);
-  }
-  if (!result.delivered()) {
+  const auto result = send_with_retries(
+      prefix, counters_.host_probes,
+      [](const simnet::DeliveryResult& r) { return r.delivered(); });
+  if (!result) {
     if (options_.record_transcript) {
       transcript_.push_back(TranscriptEntry{prefix, 'h', false, {}});
     }
-    charge_probe(cost.send_overhead + cost.probe_timeout);
     return std::nullopt;
   }
-  const topo::NodeId host = result.destination;
+  const topo::NodeId host = result->destination;
   if (!participates(host)) {
     // No mapper daemon is running there; the message is consumed and never
     // answered.
@@ -216,8 +224,8 @@ std::optional<std::string> ProbeEngine::host_probe(
   // Round trip: our send, outbound flight, remote handler, reply flight
   // (the reply retraces the path; quiescent network, so it arrives), our
   // receive.
-  charge_probe(cost.send_overhead + result.latency + cost.receive_overhead +
-               cost.send_overhead + result.latency + cost.receive_overhead +
+  charge_probe(cost.send_overhead + result->latency + cost.receive_overhead +
+               cost.send_overhead + result->latency + cost.receive_overhead +
                arbitration);
   if (options_.record_transcript) {
     transcript_.push_back(

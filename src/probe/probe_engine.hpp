@@ -62,8 +62,16 @@ struct ProbeOptions {
   /// discipline). On a quiescent network retries never trigger; under
   /// cross-traffic they recover destroyed probes at the price of extra
   /// messages and timeouts — the obvious "conditioning" knob for §6's
-  /// mapping-under-traffic problem. Each attempt is counted as a sent
-  /// probe.
+  /// mapping-under-traffic problem.
+  ///
+  /// The retry contract, identical for every probe category (switch, host,
+  /// echo, identifying, wild): a logical probe makes `retries + 1` total
+  /// attempts, stopping at the first answered one. Each attempt counts as a
+  /// sent probe; every *failed* attempt is charged send_overhead +
+  /// probe_timeout, and the answered attempt (if any) is charged its real
+  /// round trip. A probe that reaches a non-participating host is answered
+  /// by nobody but is not retried — resending cannot wake a daemon that is
+  /// not running.
   int retries = 0;
 
   /// Election mode: every participant begins as an active contender. The
@@ -103,7 +111,10 @@ struct ProbeOptions {
 };
 
 /// One recorded probe. `category` is 's' (switch/loopback), 'h' (host),
-/// 'e' (echo/comparison), 'i' (identifying), or 'w' (wild).
+/// 'e' (echo/comparison), 'i' (identifying), or 'w' (wild). One entry is
+/// recorded per *logical* probe with its final outcome — retried attempts
+/// are not recorded individually (a transcript is a statement about the
+/// network, not about the retry schedule).
 struct TranscriptEntry {
   simnet::Route route;
   char category = '?';
@@ -185,10 +196,27 @@ class ProbeEngine {
   [[nodiscard]] topo::NodeId mapper_host() const { return mapper_host_; }
   [[nodiscard]] const ProbeCounters& counters() const { return counters_; }
   /// Mapper-side virtual time consumed so far (probe costs + election start
-  /// offset).
+  /// offset). Does NOT include the clock base.
   [[nodiscard]] common::SimTime elapsed() const { return elapsed_; }
   /// Adds non-probe mapper work (e.g. computation phases) to the clock.
   void charge(common::SimTime extra) { elapsed_ += extra; }
+
+  /// Epoch of this probing session on the network's virtual clock: probes
+  /// are injected at clock_base() + elapsed(). reset() deliberately keeps
+  /// the base, so a multi-pass session (e.g. the robust mapper re-running
+  /// BerkeleyMapper, whose run() resets the engine) can keep network time —
+  /// and hence a FaultSchedule — advancing monotonically across passes
+  /// while each pass still reports its own elapsed() from zero.
+  void set_clock_base(common::SimTime base) { clock_base_ = base; }
+  [[nodiscard]] common::SimTime clock_base() const { return clock_base_; }
+  /// The absolute instant the next probe would be injected at.
+  [[nodiscard]] common::SimTime now() const { return clock_base_ + elapsed_; }
+
+  /// Adjusts the retry budget mid-session (adaptive conditioning: the
+  /// robust mapper raises it when it detects ambient probe losses).
+  /// Applies from the next probe; survives reset().
+  void set_retries(int retries) { options_.retries = retries; }
+  [[nodiscard]] int retries() const { return options_.retries; }
 
   void reset();
 
@@ -206,12 +234,21 @@ class ProbeEngine {
   [[nodiscard]] bool participates(topo::NodeId host) const;
   /// Adds a probe's cost to the clock, with jitter applied.
   void charge_probe(common::SimTime cost);
+  /// The shared retry loop behind every probe category (the ProbeOptions
+  /// "retries + 1 total attempts" contract): sends `route` until `accepted`
+  /// returns true or the attempts run out. Each attempt increments `sent`;
+  /// each rejected attempt is charged send_overhead + probe_timeout.
+  /// Returns the first accepted DeliveryResult, or nullopt.
+  template <typename Accept>
+  std::optional<simnet::DeliveryResult> send_with_retries(
+      const simnet::Route& route, std::uint64_t& sent, Accept&& accepted);
 
   simnet::Network* net_;
   topo::NodeId mapper_host_;
   ProbeOptions options_;
   ProbeCounters counters_;
   common::SimTime elapsed_{};
+  common::SimTime clock_base_{};
   /// Election: contenders that have not yet yielded to the winner.
   std::vector<bool> unyielded_;
   common::Rng election_rng_;

@@ -42,4 +42,46 @@ DistributionResult distribute_tables(simnet::Network& net,
   return result;
 }
 
+DistributionResult distribute_tables(simnet::Network& net,
+                                     const RoutingResult& routes,
+                                     const topo::Topology& map,
+                                     const std::string& master_name,
+                                     common::SimTime at) {
+  const topo::Topology& live = net.topology();
+  const auto map_master = map.find_host(master_name);
+  const auto live_master = live.find_host(master_name);
+  SANMAP_CHECK_MSG(map_master.has_value() && live_master.has_value(),
+                   "distribution master " << master_name
+                                          << " must exist in map and fabric");
+
+  DistributionResult result;
+  result.complete = true;
+  const auto& cost = net.cost();
+  for (const topo::NodeId host : map.hosts()) {
+    if (host == *map_master) {
+      continue;
+    }
+    std::size_t payload = 0;
+    for (const HostRoute* route : routes.table_for(host)) {
+      payload += 3 + route->turns.size();
+    }
+    result.bytes += payload;
+    ++result.messages;
+
+    const HostRoute& path = routes.route(*map_master, host);
+    const auto delivery =
+        net.send(*live_master, path.turns, nullptr, at + result.elapsed);
+    if (!delivery.delivered() ||
+        live.name(delivery.destination) != map.name(host)) {
+      result.complete = false;
+      result.elapsed += cost.send_overhead + cost.probe_timeout;
+      continue;
+    }
+    result.elapsed += cost.send_overhead + delivery.latency +
+                      cost.flit_time() * static_cast<std::int64_t>(payload) +
+                      cost.receive_overhead;
+  }
+  return result;
+}
+
 }  // namespace sanmap::routing

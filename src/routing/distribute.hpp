@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "common/sim_time.hpp"
 #include "routing/routes.hpp"
 #include "simnet/network.hpp"
+#include "topology/topology.hpp"
 
 namespace sanmap::routing {
 
@@ -32,5 +34,17 @@ struct DistributionResult {
 DistributionResult distribute_tables(simnet::Network& net,
                                      const RoutingResult& routes,
                                      topo::NodeId master);
+
+/// Name-matched variant for routes computed on a *map* of `net`'s fabric:
+/// node ids in `routes` are map-space, so hosts are matched to the live
+/// network by name, and each table message is injected at its instant on
+/// the virtual clock (starting at `at`) so timed faults and scheduled
+/// traffic apply. A delivery to the wrong host — or to a host whose name
+/// the map does not know — marks the distribution incomplete.
+DistributionResult distribute_tables(simnet::Network& net,
+                                     const RoutingResult& routes,
+                                     const topo::Topology& map,
+                                     const std::string& master_name,
+                                     common::SimTime at);
 
 }  // namespace sanmap::routing

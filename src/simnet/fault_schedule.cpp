@@ -1,0 +1,114 @@
+#include "simnet/fault_schedule.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sanmap::simnet {
+
+void FaultSchedule::add_transition(std::vector<EntityEvents>& events,
+                                   std::uint64_t entity, common::SimTime at,
+                                   bool up) {
+  auto it = std::find_if(
+      events.begin(), events.end(),
+      [entity](const EntityEvents& e) { return e.entity == entity; });
+  if (it == events.end()) {
+    events.push_back(EntityEvents{entity, {}});
+    it = events.end() - 1;
+  }
+  // Keep transitions sorted by time; among equal timestamps the
+  // latest-added wins (it is inserted after its equals and queries take the
+  // last transition at or before the instant).
+  auto& ts = it->transitions;
+  const auto pos = std::upper_bound(
+      ts.begin(), ts.end(), at,
+      [](common::SimTime t, const Transition& tr) { return t < tr.at; });
+  ts.insert(pos, Transition{at, up});
+}
+
+bool FaultSchedule::explicit_state(const std::vector<EntityEvents>& events,
+                                   std::uint64_t entity,
+                                   common::SimTime at) {
+  const auto it = std::find_if(
+      events.begin(), events.end(),
+      [entity](const EntityEvents& e) { return e.entity == entity; });
+  if (it == events.end()) {
+    return true;
+  }
+  bool up = true;
+  for (const Transition& tr : it->transitions) {
+    if (tr.at > at) {
+      break;
+    }
+    up = tr.up;
+  }
+  return up;
+}
+
+void FaultSchedule::link_down(topo::WireId wire, common::SimTime at) {
+  add_transition(wire_events_, wire, at, false);
+}
+
+void FaultSchedule::link_up(topo::WireId wire, common::SimTime at) {
+  add_transition(wire_events_, wire, at, true);
+}
+
+void FaultSchedule::node_down(topo::NodeId node, common::SimTime at) {
+  add_transition(node_events_, static_cast<std::uint64_t>(node), at, false);
+}
+
+void FaultSchedule::node_up(topo::NodeId node, common::SimTime at) {
+  add_transition(node_events_, static_cast<std::uint64_t>(node), at, true);
+}
+
+void FaultSchedule::flapping_link(topo::WireId wire, common::SimTime period,
+                                  double duty_cycle, common::SimTime start) {
+  SANMAP_CHECK_MSG(period > common::SimTime{},
+                   "flapping_link needs a positive period");
+  SANMAP_CHECK_MSG(duty_cycle >= 0.0 && duty_cycle <= 1.0,
+                   "flapping_link duty cycle must be in [0, 1]");
+  const auto up_ns =
+      static_cast<std::int64_t>(duty_cycle * static_cast<double>(period.to_ns()));
+  flaps_.push_back(Flap{wire, period, common::SimTime::ns(up_ns), start});
+}
+
+bool FaultSchedule::node_up_at(topo::NodeId node, common::SimTime at) const {
+  return explicit_state(node_events_, static_cast<std::uint64_t>(node), at);
+}
+
+bool FaultSchedule::wire_up_at(const topo::Topology& topo, topo::WireId wire,
+                               common::SimTime at) const {
+  if (!explicit_state(wire_events_, wire, at)) {
+    return false;
+  }
+  for (const Flap& flap : flaps_) {
+    if (flap.wire != wire || at < flap.start) {
+      continue;
+    }
+    const std::int64_t phase =
+        (at - flap.start).to_ns() % flap.period.to_ns();
+    if (phase >= flap.up_span.to_ns()) {
+      return false;
+    }
+  }
+  const topo::Wire& w = topo.wire(wire);
+  return node_up_at(w.a.node, at) && node_up_at(w.b.node, at);
+}
+
+topo::Topology FaultSchedule::surviving(const topo::Topology& topo,
+                                        common::SimTime at) const {
+  topo::Topology out = topo;
+  for (const topo::NodeId n : topo.nodes()) {
+    if (!node_up_at(n, at)) {
+      out.remove_node(n);
+    }
+  }
+  for (const topo::WireId w : topo.wires()) {
+    if (out.wire_alive(w) && !wire_up_at(topo, w, at)) {
+      out.disconnect(w);
+    }
+  }
+  return out;
+}
+
+}  // namespace sanmap::simnet

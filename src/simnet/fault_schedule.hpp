@@ -1,0 +1,131 @@
+// Timed fault injection: a deterministic timeline of component failures.
+//
+// FaultModel is memoryless — every message independently risks the same
+// Bernoulli drop — which cannot express the paper's §6 scenario of a network
+// that *changes while the mapper runs*. A FaultSchedule is the missing
+// instrument: an explicit timeline of link-down/link-up transitions, switch
+// and host deaths, and flapping links with configurable duty cycles,
+// consulted by Network::send at the virtual instant each worm's head reaches
+// a wire.
+//
+// A downed wire is indistinguishable from a wire that was never installed:
+// the crossbar port simply has nothing behind it, so a message selecting it
+// dies with NO SUCH WIRE — the paper's own §2.2 failure mode — and routes
+// that end early on a switch are STRANDED IN NETWORK, exactly as on a
+// statically miswired fabric. No new delivery status is introduced; the
+// degraded network *is* a network.
+//
+// Semantics:
+//  * wire state is sampled when the worm's head arrives at the wire; a fault
+//    landing mid-traversal takes effect from the next message (worms are
+//    microseconds long, faults are milliseconds apart);
+//  * a dead node (switch or host) takes all incident wires down with it;
+//  * a dead source host cannot inject messages at all — its NIC is off —
+//    which surfaces as kDropped (the message never entered the network);
+//  * flapping wires repeat [up for duty*period, down for the rest] from
+//    their start instant, forever (until an explicit link_down/link_up event
+//    at a later time overrides the flap).
+//
+// All queries are pure functions of (schedule, instant): runs are exactly
+// reproducible, and the surviving topology at any instant can be
+// materialized for the N − F oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "topology/topology.hpp"
+
+namespace sanmap::simnet {
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  // -- building the timeline ----------------------------------------------
+
+  /// The wire goes down at `at` (inclusive) and stays down until a later
+  /// link_up.
+  void link_down(topo::WireId wire, common::SimTime at);
+
+  /// The wire comes (back) up at `at`.
+  void link_up(topo::WireId wire, common::SimTime at);
+
+  /// The node (switch or host) dies at `at`; all incident wires die with it.
+  void node_down(topo::NodeId node, common::SimTime at);
+
+  /// The node revives at `at` (a rebooted host / power-cycled switch).
+  void node_up(topo::NodeId node, common::SimTime at);
+
+  /// From `start`, the wire repeats: up for duty_cycle * period, then down
+  /// for the remainder of the period. duty_cycle must be in [0, 1], period
+  /// positive. Before `start` the flap contributes nothing. Explicit
+  /// link_down/link_up events compose with the flap (the wire is up only
+  /// when both agree).
+  void flapping_link(topo::WireId wire, common::SimTime period,
+                     double duty_cycle, common::SimTime start = {});
+
+  // -- queries --------------------------------------------------------------
+
+  /// Is the node up at `at`? Nodes with no scheduled events are always up.
+  [[nodiscard]] bool node_up_at(topo::NodeId node, common::SimTime at) const;
+
+  /// Is the wire usable at `at`? Considers the wire's own transitions, any
+  /// flap, and the liveness of both endpoint nodes (which `topo` supplies).
+  [[nodiscard]] bool wire_up_at(const topo::Topology& topo, topo::WireId wire,
+                                common::SimTime at) const;
+
+  /// A copy of `topo` with every wire that is down at `at` disconnected and
+  /// every dead node removed. Ids are preserved (tombstones, no
+  /// renumbering), so `topo::core(surviving(...))` is the N − F oracle for
+  /// mapping under this schedule.
+  [[nodiscard]] topo::Topology surviving(const topo::Topology& topo,
+                                         common::SimTime at) const;
+
+  [[nodiscard]] bool empty() const {
+    return wire_events_.empty() && node_events_.empty() && flaps_.empty();
+  }
+  /// Scheduled timeline entries: one per explicit up/down transition plus
+  /// one per flap definition.
+  [[nodiscard]] std::size_t events() const {
+    std::size_t n = flaps_.size();
+    for (const EntityEvents& e : wire_events_) {
+      n += e.transitions.size();
+    }
+    for (const EntityEvents& e : node_events_) {
+      n += e.transitions.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Transition {
+    common::SimTime at;
+    bool up = false;
+  };
+  struct EntityEvents {
+    std::uint64_t entity = 0;  // WireId or NodeId
+    std::vector<Transition> transitions;  // sorted by time, insertion-stable
+  };
+  struct Flap {
+    topo::WireId wire = 0;
+    common::SimTime period{};
+    common::SimTime up_span{};  // duty_cycle * period
+    common::SimTime start{};
+  };
+
+  static void add_transition(std::vector<EntityEvents>& events,
+                             std::uint64_t entity, common::SimTime at,
+                             bool up);
+  /// State from explicit transitions alone: last transition at or before
+  /// `at` wins; no transition means up.
+  static bool explicit_state(const std::vector<EntityEvents>& events,
+                             std::uint64_t entity, common::SimTime at);
+
+  std::vector<EntityEvents> wire_events_;
+  std::vector<EntityEvents> node_events_;
+  std::vector<Flap> flaps_;
+};
+
+}  // namespace sanmap::simnet

@@ -1,8 +1,10 @@
 #include "simnet/network.hpp"
 
+#include <cmath>
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "simnet/fault_schedule.hpp"
 
 namespace sanmap::simnet {
 
@@ -51,12 +53,25 @@ Network::Network(const topo::Topology& topo, CollisionModel collision,
       faults_(faults),
       extensions_(extensions),
       rng_(fault_seed) {
-  SANMAP_CHECK(faults.traffic_intensity >= 0.0 &&
-               faults.traffic_intensity < 1.0);
-  SANMAP_CHECK(faults.drop_probability >= 0.0 &&
-               faults.drop_probability <= 1.0);
-  SANMAP_CHECK(faults.corrupt_probability >= 0.0 &&
-               faults.corrupt_probability <= 1.0);
+  // Validate the fault knobs up front: a NaN or out-of-range probability
+  // would otherwise silently bias every rng_.chance() draw for the lifetime
+  // of the network.
+  const auto valid = [](double p) {
+    return std::isfinite(p) && p >= 0.0 && p <= 1.0;
+  };
+  SANMAP_CHECK_MSG(valid(faults.traffic_intensity) &&
+                       faults.traffic_intensity < 1.0,
+                   "FaultModel::traffic_intensity must be finite and in "
+                   "[0, 1); got "
+                       << faults.traffic_intensity);
+  SANMAP_CHECK_MSG(valid(faults.drop_probability),
+                   "FaultModel::drop_probability must be finite and in "
+                   "[0, 1]; got "
+                       << faults.drop_probability);
+  SANMAP_CHECK_MSG(valid(faults.corrupt_probability),
+                   "FaultModel::corrupt_probability must be finite and in "
+                   "[0, 1]; got "
+                       << faults.corrupt_probability);
 }
 
 namespace {
@@ -91,6 +106,13 @@ DeliveryResult Network::send(topo::NodeId src_host, const Route& route,
     visited->push_back(src_host);
   }
 
+  // A scheduled-dead source host cannot inject anything: its NIC is off and
+  // the message never enters the network.
+  if (fault_schedule_ != nullptr &&
+      !fault_schedule_->node_up_at(src_host, at)) {
+    return finish(DeliveryStatus::kDropped, topo::kInvalidNode, 0, {});
+  }
+
   // End-to-end fault injection: decided up front so counters and rng
   // consumption stay deterministic regardless of path shape.
   const bool inject_drop = faults_.drop_probability > 0.0 &&
@@ -119,6 +141,15 @@ DeliveryResult Network::send(topo::NodeId src_host, const Route& route,
     // -- traverse the wire at (node, out_port) -----------------------------
     const auto wire_id = topo_->wire_at(node, out_port);
     if (!wire_id) {
+      return finish(DeliveryStatus::kNoSuchWire, node, hop,
+                    per_hop * hop + stall);
+    }
+    // Timed fault injection: a wire that the schedule has taken down (or
+    // whose endpoint died) is indistinguishable from one that was never
+    // installed — the head selects the port and finds nothing behind it.
+    if (fault_schedule_ != nullptr &&
+        !fault_schedule_->wire_up_at(*topo_, *wire_id,
+                                     at + per_hop * hop + stall)) {
       return finish(DeliveryStatus::kNoSuchWire, node, hop,
                     per_hop * hop + stall);
     }

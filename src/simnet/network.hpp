@@ -42,6 +42,8 @@
 
 namespace sanmap::simnet {
 
+class FaultSchedule;
+
 enum class DeliveryStatus : std::uint8_t {
   kDelivered,
   kIllegalTurn,
@@ -153,6 +155,17 @@ class Network {
     traffic_ = schedule;
   }
 
+  /// Attaches a timed fault schedule (not owned; may be null). Wire state is
+  /// sampled at the instant the worm's head reaches each wire (derived from
+  /// `at` plus per-hop latency); a downed wire manifests as NO SUCH WIRE —
+  /// the paper's own failure mode — and a dead source host as kDropped.
+  void attach_faults(const FaultSchedule* schedule) {
+    fault_schedule_ = schedule;
+  }
+  [[nodiscard]] const FaultSchedule* fault_schedule() const {
+    return fault_schedule_;
+  }
+
   [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
   [[nodiscard]] const CostModel& cost() const { return cost_; }
   [[nodiscard]] CollisionModel collision_model() const { return collision_; }
@@ -171,6 +184,7 @@ class Network {
   FaultModel faults_;
   HardwareExtensions extensions_;
   const TrafficSchedule* traffic_ = nullptr;
+  const FaultSchedule* fault_schedule_ = nullptr;
   common::Rng rng_;
   NetworkCounters counters_;
 };

@@ -13,9 +13,11 @@
 
 #include "common/rng.hpp"
 #include "mapper/berkeley_mapper.hpp"
+#include "mapper/robust_mapper.hpp"
 #include "probe/probe_engine.hpp"
 #include "routing/deadlock.hpp"
 #include "routing/routes.hpp"
+#include "simnet/fault_schedule.hpp"
 #include "simnet/network.hpp"
 #include "topology/algorithms.hpp"
 #include "topology/generators.hpp"
@@ -325,6 +327,68 @@ TEST(PropertyEndToEnd, ProbeOrderNeverChangesTheMap) {
     }
     EXPECT_TRUE(topo::isomorphic(maps[0], maps[1]));
     EXPECT_TRUE(topo::isomorphic(maps[0], maps[2]));
+  }
+}
+
+TEST(PropertyEndToEnd, SeveredSubclusterAlwaysMapsToTheSurvivingCore) {
+  // Theorem 1 under timed faults: attach a tail subcluster to a random
+  // network over a single bridge wire and kill the bridge mid-session. No
+  // matter where the death lands relative to the probe sequence, the
+  // robust session must converge to a map isomorphic to the surviving
+  // core N - F (the mapper's component with the tail gone).
+  common::Rng rng(272727);
+  for (int trial = 0; trial < 6; ++trial) {
+    common::Rng topo_rng(rng.next());
+    Topology t = topo::random_irregular(4 + trial % 3, 4 + trial % 4,
+                                        trial % 3, topo_rng);
+    const NodeId mapper_host = t.hosts().front();
+    const NodeId tail_switch = t.add_switch("tail-s");
+    const NodeId tail_host = t.add_host("tail-h");
+    std::vector<NodeId> anchors;
+    for (const NodeId s : t.switches()) {
+      if (s != tail_switch && t.free_port(s)) {
+        anchors.push_back(s);
+      }
+    }
+    ASSERT_FALSE(anchors.empty());
+    const topo::WireId bridge = t.connect_any(tail_switch, rng.pick(anchors));
+    t.connect_any(tail_host, tail_switch);
+
+    mapper::MapperConfig base;
+    base.search_depth = topo::search_depth(t, mapper_host) + 2;
+
+    // Measure an undisturbed pass to aim the fault into the session.
+    common::SimTime pass_time;
+    {
+      simnet::Network quiet(t);
+      probe::ProbeEngine probe_engine(quiet, mapper_host);
+      pass_time = mapper::BerkeleyMapper(probe_engine, base).run().elapsed;
+    }
+    const auto fault_at = common::SimTime::from_us(
+        pass_time.to_us() * (0.2 + 0.13 * trial));
+
+    simnet::FaultSchedule schedule;
+    schedule.link_down(bridge, fault_at);
+    simnet::Network net(t);
+    net.attach_faults(&schedule);
+    probe::ProbeEngine engine(net, mapper_host);
+    mapper::RobustConfig config;
+    config.base = base;
+    const auto result = mapper::RobustMapper(engine, config).run();
+
+    ASSERT_TRUE(result.converged) << "trial " << trial;
+    EXPECT_FALSE(result.map.find_host("tail-h").has_value())
+        << "trial " << trial;
+    Topology alive = schedule.surviving(t, result.elapsed);
+    std::vector<int> component;
+    topo::components(alive, component);
+    for (const NodeId n : alive.nodes()) {
+      if (component[n] != component[mapper_host]) {
+        alive.remove_node(n);
+      }
+    }
+    EXPECT_TRUE(topo::isomorphic(result.map, topo::core(alive)))
+        << "trial " << trial;
   }
 }
 
