@@ -2,7 +2,11 @@
 // see DESIGN.md §4 for the experiment index).
 #pragma once
 
+#include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "mapper/berkeley_mapper.hpp"
 #include "probe/probe_engine.hpp"
@@ -42,5 +46,82 @@ inline std::string verify(const topo::Topology& network,
                           const mapper::MapResult& result) {
   return topo::isomorphic(result.map, topo::core(network)) ? "ok" : "WRONG";
 }
+
+/// Machine-readable results next to the human tables: each bench collects
+/// (name, metric, value) samples and writes them to BENCH_<bench>.json so CI
+/// and trend tooling can diff runs without scraping stdout.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(const std::string& name, const std::string& metric, double value) {
+    entries_.push_back({name, metric, value});
+  }
+
+  std::string path() const { return "BENCH_" + bench_ + ".json"; }
+
+  /// Renders the collected entries as a JSON document.
+  std::string str() const {
+    std::ostringstream out;
+    out << "{\n  \"bench\": \"" << escape(bench_) << "\",\n  \"entries\": [";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out << (i == 0 ? "" : ",") << "\n    {\"name\": \""
+          << escape(entries_[i].name) << "\", \"metric\": \""
+          << escape(entries_[i].metric) << "\", \"value\": "
+          << number(entries_[i].value) << "}";
+    }
+    out << "\n  ]\n}\n";
+    return out.str();
+  }
+
+  /// Writes the document to BENCH_<bench>.json in the working directory.
+  void write() const {
+    std::ofstream out(path());
+    if (!out) {
+      std::cerr << "cannot write " << path() << "\n";
+      return;
+    }
+    out << str();
+    std::cerr << "wrote " << path() << " (" << entries_.size()
+              << " entries)\n";
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string metric;
+    double value;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  // JSON has no NaN/Inf literals; integral values print without a spurious
+  // fraction so diffs stay stable.
+  static std::string number(double v) {
+    if (v != v || v > 1e308 || v < -1e308) {
+      return "null";
+    }
+    std::ostringstream out;
+    if (v == static_cast<double>(static_cast<long long>(v))) {
+      out << static_cast<long long>(v);
+    } else {
+      out.precision(6);
+      out << v;
+    }
+    return out.str();
+  }
+
+  std::string bench_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace sanmap::bench

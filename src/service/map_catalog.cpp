@@ -1,0 +1,85 @@
+#include "service/map_catalog.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace sanmap::service {
+
+MapCatalog::MapCatalog(std::size_t history_limit)
+    : history_limit_(history_limit) {}
+
+MapCatalog::PublishResult MapCatalog::publish(MapSnapshot snapshot) {
+  return publish_impl(std::move(snapshot), /*check_stale=*/false, 0);
+}
+
+MapCatalog::PublishResult MapCatalog::publish_if_current(
+    MapSnapshot snapshot, std::uint64_t based_on_epoch) {
+  return publish_impl(std::move(snapshot), /*check_stale=*/true,
+                      based_on_epoch);
+}
+
+MapCatalog::PublishResult MapCatalog::publish_impl(
+    MapSnapshot snapshot, bool check_stale, std::uint64_t based_on_epoch) {
+  // The safety gate needs no lock: the verdict travels inside the snapshot.
+  if (!snapshot.deadlock_free || !snapshot.compliant) {
+    rejected_unsafe_.fetch_add(1, std::memory_order_relaxed);
+    SANMAP_LOG(kWarning, "map-catalog",
+               "refusing snapshot from " << snapshot.options.source
+                                         << ": not verified deadlock-free");
+    return PublishResult{PublishStatus::kRejectedUnsafe, epoch()};
+  }
+
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const SnapshotPtr old = current_.load(std::memory_order_acquire);
+  const std::uint64_t current_epoch = old ? old->epoch : 0;
+  if (check_stale && current_epoch != based_on_epoch) {
+    rejected_stale_.fetch_add(1, std::memory_order_relaxed);
+    return PublishResult{PublishStatus::kRejectedStale, current_epoch};
+  }
+
+  snapshot.epoch = next_epoch_++;
+  auto published =
+      std::make_shared<const MapSnapshot>(std::move(snapshot));
+  history_.push_back(published);
+  while (history_.size() > history_limit_) {
+    history_.pop_front();
+  }
+  current_.store(published, std::memory_order_release);
+  published_.fetch_add(1, std::memory_order_relaxed);
+  return PublishResult{PublishStatus::kPublished, published->epoch};
+}
+
+SnapshotPtr MapCatalog::at_epoch(std::uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  for (const SnapshotPtr& snap : history_) {
+    if (snap->epoch == epoch) {
+      return snap;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::uint64_t> MapCatalog::history_epochs() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  std::vector<std::uint64_t> epochs;
+  epochs.reserve(history_.size());
+  for (const SnapshotPtr& snap : history_) {
+    epochs.push_back(snap->epoch);
+  }
+  return epochs;
+}
+
+const char* to_string(MapCatalog::PublishStatus status) {
+  switch (status) {
+    case MapCatalog::PublishStatus::kPublished:
+      return "published";
+    case MapCatalog::PublishStatus::kRejectedUnsafe:
+      return "rejected-unsafe";
+    case MapCatalog::PublishStatus::kRejectedStale:
+      return "rejected-stale";
+  }
+  return "?";
+}
+
+}  // namespace sanmap::service

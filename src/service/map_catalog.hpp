@@ -1,0 +1,118 @@
+// The versioned snapshot store at the heart of the map service.
+//
+// Readers (route queries, many threads) and the single refresh writer meet
+// here, RCU-style: `current()` is one atomic shared_ptr load — readers
+// never take a lock, never block behind a publish, and can never observe a
+// torn snapshot, because a snapshot is immutable and replaced wholesale.
+// A reader that loaded epoch N keeps its snapshot alive by reference count
+// even after epoch N+1 lands; grace periods are implicit in shared_ptr.
+//
+// Publishing is gated twice:
+//  * safety — a snapshot whose deadlock analysis found a channel-dependency
+//    cycle (or a rule violation) is refused outright; an unsafe route table
+//    must never become current (Dally & Seitz; the paper's §5.5 guarantee);
+//  * staleness — publish_if_current(snapshot, based_on_epoch) refuses when
+//    the catalog moved past `based_on_epoch`, so a slow remap that raced a
+//    faster one cannot clobber fresher routes with older ones.
+//
+// A bounded history of recent epochs is kept for diagnostics and for
+// readers that need to compare across a swap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "service/snapshot.hpp"
+
+namespace sanmap::service {
+
+class MapCatalog {
+ public:
+  /// Keeps the most recent `history_limit` published snapshots reachable
+  /// via at_epoch() (current is always reachable regardless).
+  explicit MapCatalog(std::size_t history_limit = 8);
+
+  enum class PublishStatus : std::uint8_t {
+    kPublished,
+    /// Refused: the snapshot's deadlock analysis did not pass.
+    kRejectedUnsafe,
+    /// Refused: the catalog advanced past the epoch the snapshot was
+    /// computed against (a concurrent publisher won the race).
+    kRejectedStale,
+  };
+
+  struct PublishResult {
+    PublishStatus status = PublishStatus::kRejectedUnsafe;
+    /// The snapshot's new epoch when published; the catalog's current
+    /// epoch at decision time when rejected.
+    std::uint64_t epoch = 0;
+
+    [[nodiscard]] bool published() const {
+      return status == PublishStatus::kPublished;
+    }
+  };
+
+  /// Publishes unconditionally (no staleness check): assigns the next
+  /// epoch, swaps `current`, and records history. Still refuses unsafe
+  /// snapshots.
+  PublishResult publish(MapSnapshot snapshot);
+
+  /// Compare-and-publish: succeeds only while the current epoch is still
+  /// `based_on_epoch` (0 = publishing the first snapshot ever).
+  PublishResult publish_if_current(MapSnapshot snapshot,
+                                   std::uint64_t based_on_epoch);
+
+  /// The current snapshot — one lock-free atomic load. Null until the
+  /// first publish.
+  [[nodiscard]] SnapshotPtr current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// The current epoch; 0 until the first publish.
+  [[nodiscard]] std::uint64_t epoch() const {
+    const SnapshotPtr snap = current();
+    return snap ? snap->epoch : 0;
+  }
+
+  /// A recent snapshot by epoch, if still within the history window.
+  [[nodiscard]] SnapshotPtr at_epoch(std::uint64_t epoch) const;
+
+  /// Epochs currently retrievable through at_epoch(), oldest first.
+  [[nodiscard]] std::vector<std::uint64_t> history_epochs() const;
+
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t rejected_unsafe = 0;
+    std::uint64_t rejected_stale = 0;
+  };
+  [[nodiscard]] Stats stats() const {
+    return Stats{published_.load(std::memory_order_relaxed),
+                 rejected_unsafe_.load(std::memory_order_relaxed),
+                 rejected_stale_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  PublishResult publish_impl(MapSnapshot snapshot, bool check_stale,
+                             std::uint64_t based_on_epoch);
+
+  /// The hot pointer readers load. Writers store under writer_mutex_.
+  std::atomic<SnapshotPtr> current_{nullptr};
+
+  /// Serializes publishers and guards history_ / next_epoch_.
+  mutable std::mutex writer_mutex_;
+  std::deque<SnapshotPtr> history_;
+  std::size_t history_limit_;
+  std::uint64_t next_epoch_ = 1;
+
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> rejected_unsafe_{0};
+  std::atomic<std::uint64_t> rejected_stale_{0};
+};
+
+const char* to_string(MapCatalog::PublishStatus status);
+
+}  // namespace sanmap::service

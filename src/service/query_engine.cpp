@@ -1,0 +1,94 @@
+#include "service/query_engine.hpp"
+
+#include <algorithm>
+
+namespace sanmap::service {
+
+RouteAnswer RouteQueryEngine::route_on(const MapSnapshot& snapshot,
+                                       const std::string& src,
+                                       const std::string& dst) {
+  RouteAnswer answer;
+  answer.epoch = snapshot.epoch;
+  const auto s = snapshot.map.find_host(src);
+  const auto d = snapshot.map.find_host(dst);
+  if (!s || !d || *s == *d) {
+    return answer;
+  }
+  const auto it = snapshot.routes.routes.find({*s, *d});
+  if (it == snapshot.routes.routes.end()) {
+    return answer;
+  }
+  answer.found = true;
+  answer.hops = it->second.hops();
+  answer.turns = it->second.turns;
+  return answer;
+}
+
+RouteAnswer RouteQueryEngine::route(const std::string& src,
+                                    const std::string& dst) const {
+  served_.fetch_add(1, std::memory_order_relaxed);
+  const SnapshotPtr snapshot = catalog_->current();
+  if (!snapshot) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return RouteAnswer{};
+  }
+  RouteAnswer answer = route_on(*snapshot, src, dst);
+  if (!answer.found) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return answer;
+}
+
+bool RouteQueryEngine::reachable(const std::string& src,
+                                 const std::string& dst) const {
+  return route(src, dst).found;
+}
+
+FabricStats RouteQueryEngine::stats() const {
+  const SnapshotPtr snapshot = catalog_->current();
+  if (!snapshot) {
+    return FabricStats{};
+  }
+  FabricStats stats;
+  stats.epoch = snapshot->epoch;
+  stats.hosts = snapshot->map.num_hosts();
+  stats.switches = snapshot->map.num_switches();
+  stats.wires = snapshot->map.num_wires();
+  stats.routes = snapshot->routes.routes.size();
+  stats.mean_hops = snapshot->mean_hops;
+  stats.max_hops = snapshot->max_hops;
+  stats.deadlock_free = snapshot->deadlock_free;
+  return stats;
+}
+
+std::vector<RouteAnswer> RouteQueryEngine::run_batch(
+    const std::vector<RouteQuery>& queries, common::ThreadPool& pool,
+    std::size_t chunk_size) const {
+  std::vector<RouteAnswer> answers(queries.size());
+  if (queries.empty()) {
+    return answers;
+  }
+  chunk_size = std::max<std::size_t>(1, chunk_size);
+  const std::size_t chunks = (queries.size() + chunk_size - 1) / chunk_size;
+  pool.parallel_for(chunks, [&](std::size_t chunk) {
+    const std::size_t begin = chunk * chunk_size;
+    const std::size_t end = std::min(begin + chunk_size, queries.size());
+    // One snapshot acquisition per chunk: answers within a chunk share an
+    // epoch; answers across chunks may straddle a republish.
+    const SnapshotPtr snapshot = catalog_->current();
+    std::uint64_t chunk_misses = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (snapshot) {
+        answers[i] = route_on(*snapshot, queries[i].src, queries[i].dst);
+      }
+      if (!answers[i].found) {
+        ++chunk_misses;
+      }
+    }
+    served_.fetch_add(end - begin, std::memory_order_relaxed);
+    misses_.fetch_add(chunk_misses, std::memory_order_relaxed);
+  });
+  return answers;
+}
+
+}  // namespace sanmap::service

@@ -1,0 +1,130 @@
+#include "service/refresh_loop.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "routing/route_health.hpp"
+#include "topology/algorithms.hpp"
+
+namespace sanmap::service {
+
+namespace {
+
+topo::NodeId resolve_master(const topo::Topology& topo,
+                            const std::string& name) {
+  SANMAP_CHECK_MSG(!name.empty(),
+                   "RefreshConfig::master_name must name the mapper host");
+  const auto host = topo.find_host(name);
+  SANMAP_CHECK_MSG(host.has_value(),
+                   "master host " << name << " does not exist in the fabric");
+  return *host;
+}
+
+}  // namespace
+
+RefreshLoop::RefreshLoop(simnet::Network& net, MapCatalog& catalog,
+                         RefreshConfig config)
+    : net_(&net),
+      catalog_(&catalog),
+      config_(std::move(config)),
+      master_(resolve_master(net.topology(), config_.master_name)),
+      engine_(net, master_) {
+  if (config_.robust.base.search_depth <= 0) {
+    config_.robust.base.search_depth =
+        topo::search_depth(net.topology(), master_) + 2;
+  }
+}
+
+TickReport RefreshLoop::bootstrap() {
+  TickReport report;
+  report.epoch_before = catalog_->epoch();
+  remap_and_publish(report.epoch_before, report);
+  report.epoch_after = catalog_->epoch();
+  report.at = now_;
+  return report;
+}
+
+TickReport RefreshLoop::tick() {
+  const SnapshotPtr snapshot = catalog_->current();
+  if (!snapshot) {
+    now_ += config_.check_interval;
+    return bootstrap();
+  }
+
+  TickReport report;
+  report.epoch_before = snapshot->epoch;
+  now_ += config_.check_interval;
+
+  const routing::RouteHealthReport health =
+      routing::check_routes(*net_, snapshot->routes, snapshot->map, now_);
+  now_ += health.elapsed;
+  report.routes_checked = health.routes_checked;
+  report.broken = health.broken.size();
+
+  if (!health.healthy()) {
+    SANMAP_LOG(kInfo, "refresh-loop",
+               "epoch " << snapshot->epoch << ": " << report.broken << "/"
+                        << report.routes_checked
+                        << " routes broken; remapping");
+    remap_and_publish(snapshot->epoch, report);
+  }
+  report.epoch_after = catalog_->epoch();
+  report.at = now_;
+  return report;
+}
+
+void RefreshLoop::remap_and_publish(std::uint64_t based_on_epoch,
+                                    TickReport& report) {
+  report.remapped = true;
+
+  // Remap the live fabric. The engine's clock base carries the loop's
+  // virtual time into the session so the FaultSchedule is sampled at
+  // realistic instants; the session returns the absolute instant it ended.
+  engine_.set_clock_base(now_);
+  engine_.reset();
+  mapper::RobustResult session =
+      mapper::RobustMapper(engine_, config_.robust).run();
+  now_ = session.elapsed;
+  report.probes_used = session.probes_used;
+
+  SnapshotOptions options;
+  options.root_name = config_.root_name;
+  options.route_seed = config_.route_seed;
+  options.source = based_on_epoch == 0 ? "bootstrap" : "remap";
+  MapSnapshot snapshot = build_snapshot(session.map, options, now_);
+
+  // The deadlock gate: an unverified table is never distributed, let alone
+  // published (the catalog would refuse it anyway; checking here spares the
+  // fabric the table traffic).
+  if (!snapshot.deadlock_free || !snapshot.compliant) {
+    report.publish_status = MapCatalog::PublishStatus::kRejectedUnsafe;
+    catalog_->publish_if_current(std::move(snapshot), based_on_epoch);
+    return;
+  }
+
+  if (config_.distribute) {
+    const routing::DistributionResult distribution = routing::distribute_tables(
+        *net_, snapshot.routes, snapshot.map, config_.master_name, now_);
+    now_ += distribution.elapsed;
+    report.distribution_complete = distribution.complete;
+    // An incomplete distribution is not a reason to withhold the snapshot:
+    // the routes are verified safe, and the next tick's health check will
+    // catch whatever the missed interfaces imply and remap again.
+  }
+
+  const MapCatalog::PublishResult outcome =
+      catalog_->publish_if_current(std::move(snapshot), based_on_epoch);
+  report.publish_status = outcome.status;
+}
+
+std::vector<TickReport> RefreshLoop::run(int ticks) {
+  std::vector<TickReport> reports;
+  reports.reserve(static_cast<std::size_t>(ticks));
+  for (int i = 0; i < ticks; ++i) {
+    reports.push_back(tick());
+  }
+  return reports;
+}
+
+}  // namespace sanmap::service

@@ -1,0 +1,107 @@
+// The write side of the map service: watch, remap, verify, swap.
+//
+// A long-lived mapper host does the paper's §5.5 pipeline forever. Each
+// tick advances the virtual clock by the check interval and fires every
+// route of the current snapshot into the live (possibly faulted) fabric via
+// routing::check_routes. While the fabric is healthy a tick is pure
+// observation. When routes broke — a FaultSchedule killed a link, a switch
+// died — the loop runs a mapper::RobustMapper session against the live
+// network (converging to the map of the surviving fabric), computes fresh
+// UP*/DOWN* routes, verifies them with the channel-dependency deadlock
+// analysis, distributes the tables in-band to every interface, and
+// publishes the snapshot with publish_if_current — so if a concurrent
+// publisher moved the catalog first, the slower result is dropped as stale
+// instead of clobbering fresher routes.
+//
+// Threading: one RefreshLoop instance is single-threaded (Network and
+// ProbeEngine are not thread-safe) and is the catalog's writer; any number
+// of RouteQueryEngine readers run concurrently against the catalog. That
+// split — exclusive probing, lock-free reading — is the whole concurrency
+// design of the service.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "mapper/robust_mapper.hpp"
+#include "probe/probe_engine.hpp"
+#include "routing/distribute.hpp"
+#include "service/map_catalog.hpp"
+#include "simnet/network.hpp"
+
+namespace sanmap::service {
+
+struct RefreshConfig {
+  /// The mapper/master host, by name (must exist in the live fabric).
+  std::string master_name;
+  /// Virtual time between health checks.
+  common::SimTime check_interval = common::SimTime::ms(50);
+  /// Route parameters baked into every published snapshot.
+  std::string root_name;
+  std::uint64_t route_seed = 1;
+  /// Remap session knobs. A base.search_depth <= 0 is replaced with the
+  /// live fabric's ground-truth depth + 2 (the slack bench_faults uses for
+  /// fabrics that degrade mid-pass).
+  mapper::RobustConfig robust;
+  /// Distribute tables in-band before publishing (off for pure-simulation
+  /// uses that only care about the catalog).
+  bool distribute = true;
+};
+
+/// What one tick did.
+struct TickReport {
+  /// Catalog epochs around the tick; equal when nothing was published.
+  std::uint64_t epoch_before = 0;
+  std::uint64_t epoch_after = 0;
+  std::size_t routes_checked = 0;
+  std::size_t broken = 0;
+  /// A RobustMapper session ran this tick.
+  bool remapped = false;
+  /// Probes the remap session spent (0 when !remapped).
+  std::uint64_t probes_used = 0;
+  /// Outcome of the publish attempt (meaningful when remapped).
+  MapCatalog::PublishStatus publish_status =
+      MapCatalog::PublishStatus::kRejectedStale;
+  /// Every table message of the redistribution was delivered.
+  bool distribution_complete = true;
+  /// Virtual-clock instant the tick finished at.
+  common::SimTime at{};
+
+  [[nodiscard]] bool swapped() const { return epoch_after != epoch_before; }
+};
+
+class RefreshLoop {
+ public:
+  /// `net` must outlive the loop; `catalog` is where snapshots land. The
+  /// master host is resolved by name against net's topology.
+  RefreshLoop(simnet::Network& net, MapCatalog& catalog, RefreshConfig config);
+
+  /// Maps the fabric from scratch and publishes the first snapshot (or a
+  /// fresh one if the catalog already has epochs).
+  TickReport bootstrap();
+
+  /// One watch cycle: advance the clock, health-check the current
+  /// snapshot's routes, and remap + verify + distribute + publish when
+  /// anything broke. Bootstraps if the catalog is empty.
+  TickReport tick();
+
+  /// Runs `ticks` cycles; returns one report per tick.
+  std::vector<TickReport> run(int ticks);
+
+  /// The loop's virtual clock (advances across ticks and remaps).
+  [[nodiscard]] common::SimTime now() const { return now_; }
+
+ private:
+  /// Remap the live fabric, build + verify a snapshot, distribute, publish.
+  void remap_and_publish(std::uint64_t based_on_epoch, TickReport& report);
+
+  simnet::Network* net_;
+  MapCatalog* catalog_;
+  RefreshConfig config_;
+  topo::NodeId master_;
+  probe::ProbeEngine engine_;
+  common::SimTime now_{};
+};
+
+}  // namespace sanmap::service

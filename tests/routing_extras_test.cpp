@@ -6,8 +6,10 @@
 #include "routing/congestion.hpp"
 #include "routing/deadlock.hpp"
 #include "routing/distribute.hpp"
+#include "routing/route_health.hpp"
 #include "routing/routes.hpp"
 #include "routing/tree_routes.hpp"
+#include "simnet/fault_schedule.hpp"
 #include "simnet/network.hpp"
 #include "topology/generators.hpp"
 
@@ -118,6 +120,106 @@ TEST(Distribute, FlagsUndeliverableTables) {
                       simnet::CostModel{}, faults, 5);
   const auto result = distribute_tables(net, routes, t.hosts().front());
   EXPECT_FALSE(result.complete);
+}
+
+TEST(Distribute, EmptyRouteSetIsVacuouslyComplete) {
+  // A single host has nobody to ship tables to: zero messages, complete by
+  // definition, no time spent — in both id-space and map-space form.
+  Topology t;
+  const NodeId s = t.add_switch();
+  const NodeId h = t.add_host("lonely");
+  t.connect(h, 0, s, 0);
+  const auto routes = compute_updown_routes(t);
+  ASSERT_TRUE(routes.routes.empty());
+
+  simnet::Network net(t);
+  const auto by_id = distribute_tables(net, routes, h);
+  EXPECT_TRUE(by_id.complete);
+  EXPECT_EQ(by_id.messages, 0u);
+  EXPECT_EQ(by_id.bytes, 0u);
+  EXPECT_EQ(by_id.elapsed.to_ns(), 0);
+
+  const auto by_name =
+      distribute_tables(net, routes, t, "lonely", common::SimTime{});
+  EXPECT_TRUE(by_name.complete);
+  EXPECT_EQ(by_name.messages, 0u);
+}
+
+TEST(Distribute, HostVanishingMidDistributionIsIncomplete) {
+  // The master works through the interfaces sequentially; a host that dies
+  // while earlier tables are still being shipped fails its own delivery
+  // without poisoning the ones already sent.
+  const Topology t = topo::torus(3, 3, 1);
+  const auto routes = compute_updown_routes(t);
+  const std::string master = t.name(t.hosts().front());
+
+  common::SimTime full_span;
+  {
+    simnet::Network net(t);
+    const auto clean =
+        distribute_tables(net, routes, t, master, common::SimTime{});
+    ASSERT_TRUE(clean.complete);
+    full_span = clean.elapsed;
+  }
+
+  // The last host in distribution order receives its table near the end of
+  // the run; killing it halfway in guarantees "mid-distribution".
+  simnet::FaultSchedule schedule;
+  schedule.node_down(t.hosts().back(),
+                     common::SimTime::ns(full_span.to_ns() / 2));
+  simnet::Network net(t);
+  net.attach_faults(&schedule);
+  const auto degraded =
+      distribute_tables(net, routes, t, master, common::SimTime{});
+  EXPECT_FALSE(degraded.complete);
+  EXPECT_EQ(degraded.messages, t.num_hosts() - 1);  // every send attempted
+  // The failed delivery is charged the timeout, so the degraded run is not
+  // cheaper than the clean one.
+  EXPECT_GT(degraded.elapsed, full_span);
+}
+
+// ----------------------------------------------------------- route health --
+
+TEST(RouteHealth, EmptyRouteSetIsHealthy) {
+  Topology t;
+  const NodeId s = t.add_switch();
+  const NodeId h = t.add_host("lonely");
+  t.connect(h, 0, s, 0);
+  const auto routes = compute_updown_routes(t);
+  simnet::Network net(t);
+  const auto report = check_routes(net, routes, t, common::SimTime{});
+  EXPECT_TRUE(report.healthy());
+  EXPECT_EQ(report.routes_checked, 0u);
+  EXPECT_EQ(report.delivery_ratio(), 1.0);
+}
+
+TEST(RouteHealth, DeadHostBreaksItsRoutesWithTheRightStatus) {
+  // A host death breaks every route touching it: sourced routes die in the
+  // NIC (kDropped — the interface is off), inbound routes die on the wire
+  // (the paper's NO SUCH WIRE). Routes between surviving hosts still work.
+  const Topology t = topo::torus(3, 3, 1);
+  const auto routes = compute_updown_routes(t);
+  const NodeId victim = t.hosts().back();
+  const std::string victim_name = t.name(victim);
+
+  simnet::FaultSchedule schedule;
+  schedule.node_down(victim, common::SimTime{});
+  simnet::Network net(t);
+  net.attach_faults(&schedule);
+
+  const auto report = check_routes(net, routes, t, common::SimTime{});
+  EXPECT_FALSE(report.healthy());
+  const std::size_t hosts = t.num_hosts();
+  EXPECT_EQ(report.routes_checked, hosts * (hosts - 1));
+  EXPECT_EQ(report.broken.size(), 2 * (hosts - 1));  // to + from the victim
+  for (const BrokenRoute& broken : report.broken) {
+    EXPECT_TRUE(broken.src == victim_name || broken.dst == victim_name);
+    if (broken.src == victim_name) {
+      EXPECT_EQ(broken.status, simnet::DeliveryStatus::kDropped);
+    } else {
+      EXPECT_NE(broken.status, simnet::DeliveryStatus::kDelivered);
+    }
+  }
 }
 
 // ---------------------------------------------------------------- retries --

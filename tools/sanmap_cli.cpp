@@ -9,6 +9,9 @@
 //                 [--collision cut-through|circuit] [--out FILE]
 //   sanmap routes --in FILE [--root NAME] [--sample N]
 //   sanmap dot    --in FILE [--out FILE]
+//   sanmap serve  --in FILE [--master HOST] [--ticks N] [--interval-ms M]
+//                 [--faults SPEC] [--snapshot-out FILE]
+//   sanmap query  --snapshot FILE [--src HOST --dst HOST] [--sample N]
 //
 // Files use the "sanmap topology v1" text format (see
 // src/topology/serialize.hpp); "-" means stdin/stdout.
@@ -30,6 +33,11 @@
 #include "probe/probe_engine.hpp"
 #include "routing/deadlock.hpp"
 #include "routing/routes.hpp"
+#include "service/map_catalog.hpp"
+#include "service/query_engine.hpp"
+#include "service/refresh_loop.hpp"
+#include "service/snapshot_codec.hpp"
+#include "simnet/fault_schedule.hpp"
 #include "simnet/network.hpp"
 #include "topology/algorithms.hpp"
 #include "topology/generators.hpp"
@@ -333,6 +341,188 @@ int cmd_routes(int argc, const char* const* argv) {
   return analysis.deadlock_free ? 0 : 1;
 }
 
+// Parses a --faults spec: comma-separated timeline events over the input
+// topology, e.g. "link-down:4@150,node-down:h3@200,flap:7@64x0.5".
+//   link-down:<wire-id>@<ms>      link-up:<wire-id>@<ms>
+//   node-down:<name>@<ms>         node-up:<name>@<ms>
+//   flap:<wire-id>@<period-ms>x<duty>
+simnet::FaultSchedule parse_faults(const std::string& spec,
+                                   const topo::Topology& t) {
+  simnet::FaultSchedule schedule;
+  if (spec.empty()) {
+    return schedule;
+  }
+  const auto node_by_name = [&](const std::string& name) {
+    for (const topo::NodeId n : t.nodes()) {
+      if (t.name(n) == name) {
+        return n;
+      }
+    }
+    throw std::runtime_error("faults: no node named " + name);
+  };
+  std::stringstream events(spec);
+  std::string event;
+  while (std::getline(events, event, ',')) {
+    const auto colon = event.find(':');
+    const auto at = event.find('@');
+    if (colon == std::string::npos || at == std::string::npos || at < colon) {
+      throw std::runtime_error("faults: malformed event " + event);
+    }
+    const std::string kind = event.substr(0, colon);
+    const std::string target = event.substr(colon + 1, at - colon - 1);
+    const std::string when = event.substr(at + 1);
+    if (kind == "flap") {
+      const auto x = when.find('x');
+      if (x == std::string::npos) {
+        throw std::runtime_error("faults: flap needs <period-ms>x<duty>");
+      }
+      schedule.flapping_link(
+          static_cast<topo::WireId>(std::stoul(target)),
+          common::SimTime::ms(std::stoll(when.substr(0, x))),
+          std::stod(when.substr(x + 1)));
+      continue;
+    }
+    const common::SimTime instant = common::SimTime::ms(std::stoll(when));
+    if (kind == "link-down") {
+      schedule.link_down(static_cast<topo::WireId>(std::stoul(target)),
+                         instant);
+    } else if (kind == "link-up") {
+      schedule.link_up(static_cast<topo::WireId>(std::stoul(target)), instant);
+    } else if (kind == "node-down") {
+      schedule.node_down(node_by_name(target), instant);
+    } else if (kind == "node-up") {
+      schedule.node_up(node_by_name(target), instant);
+    } else {
+      throw std::runtime_error("faults: unknown event kind " + kind);
+    }
+  }
+  return schedule;
+}
+
+int cmd_serve(int argc, const char* const* argv) {
+  common::Flags flags;
+  flags.define("in", "-", "input topology file (the live fabric)");
+  flags.define("master", "", "mapper/master host name");
+  flags.define("ticks", "10", "health-check cycles to run");
+  flags.define("interval-ms", "50", "virtual time between checks");
+  flags.define("root", "", "UP*/DOWN* root switch name");
+  flags.define("seed", "1", "route load-balance seed");
+  flags.define("faults", "",
+               "fault timeline, e.g. link-down:4@150,node-down:h3@200,"
+               "flap:7@64x0.5");
+  flags.define("snapshot-out", "", "write the final snapshot here (binary)");
+  if (!flags.parse(argc, argv)) {
+    return 0;
+  }
+  const topo::Topology t = read_input(flags.get("in"));
+  const topo::NodeId master = pick_mapper(t, flags.get("master"));
+  const simnet::FaultSchedule schedule = parse_faults(flags.get("faults"), t);
+
+  simnet::Network net(t);
+  net.attach_faults(&schedule);
+  service::MapCatalog catalog;
+  service::RefreshConfig config;
+  config.master_name = t.name(master);
+  config.check_interval =
+      common::SimTime::ms(flags.get_int("interval-ms"));
+  config.root_name = flags.get("root");
+  config.route_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  service::RefreshLoop loop(net, catalog, config);
+
+  const auto boot = loop.bootstrap();
+  std::cerr << "bootstrap : epoch " << boot.epoch_after << " at "
+            << boot.at.str() << " (" << boot.probes_used << " probes, "
+            << (boot.distribution_complete ? "tables distributed"
+                                           : "DISTRIBUTION INCOMPLETE")
+            << ")\n";
+
+  common::Table table(
+      {"tick", "t", "checked", "broken", "action", "epoch"});
+  const std::int64_t ticks = flags.get_int("ticks");
+  for (std::int64_t i = 0; i < ticks; ++i) {
+    const auto report = loop.tick();
+    std::string action = "observe";
+    if (report.remapped) {
+      action = report.swapped()
+                   ? "remap -> " + std::string(to_string(report.publish_status))
+                   : std::string(to_string(report.publish_status));
+    }
+    table.add_row({std::to_string(i), report.at.str(),
+                   std::to_string(report.routes_checked),
+                   std::to_string(report.broken), action,
+                   std::to_string(report.epoch_after)});
+  }
+  std::cout << table;
+
+  const auto stats = catalog.stats();
+  std::cerr << "catalog   : " << stats.published << " published, "
+            << stats.rejected_unsafe << " rejected unsafe, "
+            << stats.rejected_stale << " rejected stale\n";
+  const service::SnapshotPtr current = catalog.current();
+  if (current && !flags.get("snapshot-out").empty()) {
+    service::write_snapshot_file(flags.get("snapshot-out"), *current);
+    std::cerr << "wrote " << flags.get("snapshot-out") << " (epoch "
+              << current->epoch << ")\n";
+  }
+  return current && current->deadlock_free ? 0 : 1;
+}
+
+int cmd_query(int argc, const char* const* argv) {
+  common::Flags flags;
+  flags.define("snapshot", "", "snapshot file written by sanmap serve");
+  flags.define("src", "", "source host name");
+  flags.define("dst", "", "destination host name");
+  flags.define("sample", "0", "also print the first N routes");
+  if (!flags.parse(argc, argv)) {
+    return 0;
+  }
+  if (flags.get("snapshot").empty()) {
+    throw std::runtime_error("--snapshot is required");
+  }
+  const service::MapSnapshot snapshot =
+      service::read_snapshot_file(flags.get("snapshot"));
+  std::cout << "epoch         : " << snapshot.epoch << " (from "
+            << snapshot.options.source << " at " << snapshot.created_at.str()
+            << ")\n";
+  std::cout << "fabric        : " << snapshot.map.num_hosts() << " hosts, "
+            << snapshot.map.num_switches() << " switches, "
+            << snapshot.map.num_wires() << " links\n";
+  std::cout << "routes        : " << snapshot.routes.routes.size() << " (mean "
+            << common::fmt(snapshot.mean_hops, 2) << " hops, max "
+            << snapshot.max_hops << ")\n";
+  std::cout << "deadlock-free : " << (snapshot.deadlock_free ? "yes" : "NO")
+            << " (verified on load; " << snapshot.dependencies
+            << " channel dependencies)\n";
+
+  if (!flags.get("src").empty() || !flags.get("dst").empty()) {
+    const auto answer = service::RouteQueryEngine::route_on(
+        snapshot, flags.get("src"), flags.get("dst"));
+    if (!answer.found) {
+      std::cerr << "no route " << flags.get("src") << " -> "
+                << flags.get("dst") << "\n";
+      return 1;
+    }
+    std::cout << "route         : " << flags.get("src") << " -> "
+              << flags.get("dst") << ", " << answer.hops << " hops, turns "
+              << simnet::to_string(answer.turns) << "\n";
+  }
+
+  if (std::int64_t remaining = flags.get_int("sample"); remaining > 0) {
+    common::Table sample({"source", "destination", "hops", "turns"});
+    for (const auto& [key, route] : snapshot.routes.routes) {
+      if (remaining-- <= 0) {
+        break;
+      }
+      sample.add_row({snapshot.map.name(key.first),
+                      snapshot.map.name(key.second),
+                      std::to_string(route.hops()),
+                      simnet::to_string(route.turns)});
+    }
+    std::cout << "\n" << sample;
+  }
+  return 0;
+}
+
 int cmd_dot(int argc, const char* const* argv) {
   common::Flags flags;
   flags.define("in", "-", "input topology file");
@@ -345,7 +535,7 @@ int cmd_dot(int argc, const char* const* argv) {
 }
 
 void usage() {
-  std::cerr << "usage: sanmap <gen|info|map|routes|dot> [flags]\n"
+  std::cerr << "usage: sanmap <gen|info|map|routes|serve|query|dot> [flags]\n"
                "run a subcommand with --help for its flags\n";
 }
 
@@ -381,6 +571,12 @@ int main(int argc, char** argv) {
     }
     if (command == "routes") {
       return cmd_routes(sub_argc, sub_argv);
+    }
+    if (command == "serve") {
+      return cmd_serve(sub_argc, sub_argv);
+    }
+    if (command == "query") {
+      return cmd_query(sub_argc, sub_argv);
     }
     if (command == "dot") {
       return cmd_dot(sub_argc, sub_argv);
