@@ -57,7 +57,7 @@ topo::Topology mesh_with_tail(topo::WireId& bridge, topo::WireId& mesh_link) {
   return t;
 }
 
-void acceptance_section(std::int64_t runs) {
+void acceptance_section(std::int64_t runs, std::uint64_t base_seed) {
   std::cout << "=== two link deaths mid-mapping, 10% cross-traffic ===\n";
   topo::WireId bridge = 0;
   topo::WireId mesh_link = 0;
@@ -74,7 +74,7 @@ void acceptance_section(std::int64_t runs) {
     simnet::FaultModel faults;
     faults.traffic_intensity = 0.10;
     simnet::Network undisturbed(t, simnet::CollisionModel::kCutThrough,
-                                simnet::CostModel{}, faults, 900);
+                                simnet::CostModel{}, faults, base_seed);
     probe::ProbeEngine engine(undisturbed, mapper_host);
     engine.set_retries(4);
     pass_time = mapper::BerkeleyMapper(engine, base).run().elapsed;
@@ -87,7 +87,7 @@ void acceptance_section(std::int64_t runs) {
                        "sweeps", "probes", "cut off", "quarantined"});
   for (const double fraction : {0.25, 0.50, 0.75}) {
     for (std::int64_t run = 0; run < runs; ++run) {
-      const std::uint64_t seed = 900 + static_cast<std::uint64_t>(run);
+      const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(run);
       simnet::FaultSchedule schedule;
       schedule.link_down(bridge,
                          common::SimTime::from_us(pass_time.to_us() * fraction));
@@ -241,11 +241,15 @@ void route_health_section() {
 int main(int argc, char** argv) {
   common::Flags flags;
   flags.define("runs", "3", "seeds per fault instant in the acceptance table");
+  flags.define("seed", "900",
+               "base traffic seed; run r uses seed + r, so any WRONG row can "
+               "be replayed exactly with --runs 1 --seed <printed seed>");
   if (!flags.parse(argc, argv)) {
     return 0;
   }
   std::cout << "=== timed faults and the self-healing robust session ===\n\n";
-  acceptance_section(flags.get_int("runs"));
+  acceptance_section(flags.get_int("runs"),
+                     static_cast<std::uint64_t>(flags.get_int("seed")));
   flapping_section();
   route_health_section();
   return 0;

@@ -23,11 +23,16 @@ int main(int argc, char** argv) {
   common::Flags flags;
   flags.define("runs", "10", "runs per cell");
   flags.define("jitter", "0.07", "per-probe overhead jitter fraction");
+  flags.define("seed", "1000",
+               "base seed; run r jitters with seed + r and elects with "
+               "seed + 1000 + r, so a WRONG cell replays with --runs 1 "
+               "--seed <printed seed>");
   if (!flags.parse(argc, argv)) {
     return 0;
   }
   const auto runs = flags.get_int("runs");
   const double jitter = flags.get_double("jitter");
+  const auto base_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
 
   std::cout << "=== Figure 7: mapping times, one master vs election ===\n";
   common::Table table(
@@ -42,16 +47,16 @@ int main(int argc, char** argv) {
     for (std::int64_t run = 0; run < runs; ++run) {
       probe::ProbeOptions options;
       options.jitter = jitter;
-      options.jitter_seed = 1000 + static_cast<std::uint64_t>(run);
+      options.jitter_seed = base_seed + static_cast<std::uint64_t>(run);
       const auto m = bench::run_berkeley(
           network, simnet::CollisionModel::kCutThrough, {}, options);
       master.add(m.elapsed.to_ms());
       if (bench::verify(network, m) != "ok") {
-        ok = "WRONG";
+        ok = "WRONG (seed " + std::to_string(options.jitter_seed) + ")";
       }
 
       options.election = true;
-      options.election_seed = 2000 + static_cast<std::uint64_t>(run);
+      options.election_seed = base_seed + 1000 + static_cast<std::uint64_t>(run);
       const auto e = bench::run_berkeley(
           network, simnet::CollisionModel::kCutThrough, {}, options);
       election.add(e.elapsed.to_ms());

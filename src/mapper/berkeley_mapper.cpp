@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "mapper/explorer.hpp"
+#include "topology/algorithms.hpp"
 
 namespace sanmap::mapper {
 
@@ -48,7 +49,9 @@ MapResult BerkeleyMapper::run() {
   // EXPLORE with interleaved merging (§3.3 modification 1).
   explorer.run(result);
 
-  result.merges += static_cast<std::size_t>(model_.stabilize());
+  if (!config_.sabotage_skip_merges) {
+    result.merges += static_cast<std::size_t>(model_.stabilize());
+  }
   result.pruned = static_cast<std::size_t>(model_.prune());
   if (config_.record_trace) {
     // The post-prune point: the paper's Figure 8 plummet near the end.
@@ -58,6 +61,15 @@ MapResult BerkeleyMapper::run() {
   }
 
   result.map = model_.extract();
+  // Under cut-through, probes can cross a switch-bridge twice without
+  // self-colliding, so whole separated clusters may be discovered; cyclic
+  // ones survive the degree-based model prune. Theorem 1 promises N - F
+  // regardless, so shed them from the extracted map.
+  {
+    const std::size_t before = result.map.num_nodes();
+    result.map = topo::core(result.map);
+    result.pruned += before - result.map.num_nodes();
+  }
   result.probes = engine_->counters();
   result.elapsed = engine_->elapsed();
   SANMAP_LOG(kInfo, "mapper",

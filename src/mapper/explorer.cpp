@@ -9,6 +9,10 @@ namespace sanmap::mapper {
 
 void Explorer::run(MapResult& result) {
   while (head_ < frontier_.size()) {
+    if (config_->max_explorations != 0 &&
+        result.explorations >= config_->max_explorations) {
+      break;  // runaway guard tripped; extract() will report the rest
+    }
     const VertexId queued = frontier_[head_++];
     const Resolved r = model_->resolve(queued);
     if (!model_->vertex_alive(r.vertex) ||
@@ -89,7 +93,9 @@ void Explorer::explore_vertex(VertexId v, MapResult& result) {
     }
     // Interleaved merging: run deductions as soon as they are available so
     // later turns of this very exploration can be skipped.
-    result.merges += static_cast<std::size_t>(model_->stabilize());
+    if (!config_->sabotage_skip_merges) {
+      result.merges += static_cast<std::size_t>(model_->stabilize());
+    }
   }
 }
 

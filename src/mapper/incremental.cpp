@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "mapper/explorer.hpp"
 #include "mapper/model_graph.hpp"
+#include "topology/algorithms.hpp"
 
 namespace sanmap::mapper {
 
@@ -285,6 +286,9 @@ IncrementalResult IncrementalMapper::run() {
   model.stabilize();
   model.prune();
   result.map = model.extract();
+  // Shed separated clusters the degree-based prune cannot reach (see
+  // BerkeleyMapper::run).
+  result.map = topo::core(result.map);
   result.probes = engine_->counters();
   result.elapsed = engine_->elapsed();
   return result;

@@ -26,6 +26,23 @@ struct MapperConfig {
 
   /// Record the Figure 8 growth series (one point per switch exploration).
   bool record_trace = false;
+
+  /// Runaway guard: hard cap on switch explorations (0 = unbounded). A
+  /// healthy session explores each physical switch once, so any network the
+  /// simulator can hold stays far below a cap in the thousands; a broken
+  /// merge cascade (see sabotage_skip_merges) instead explores every walk
+  /// to a replicate and would otherwise run for hours. Hitting the cap
+  /// leaves the model unstabilized or incomplete, which extract() and the
+  /// oracles report — the guard converts a hang into a diagnosable failure.
+  std::size_t max_explorations = 0;
+
+  /// Fault injection for the verification subsystem (src/verify), never for
+  /// production use: disable the §3.3 replicate-merge cascade entirely, so
+  /// any topology in which a switch is reachable over two distinct paths
+  /// yields duplicate model vertices and unresolved slot conflicts. The
+  /// differential fuzzer must catch this (and its minimizer must shrink the
+  /// catch to a hand-checkable case) — it is how we verify the verifier.
+  bool sabotage_skip_merges = false;
 };
 
 /// One Figure 8 sample, taken after each switch exploration.

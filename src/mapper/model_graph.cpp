@@ -266,6 +266,22 @@ int ModelGraph::prune() {
           degree(v) > 1) {
         continue;
       }
+      // A switch whose one wire leads to a host is adjacent to that host,
+      // so no switch-bridge separates it (Lemma 1): it is core, not a
+      // dead-end stub. The degenerate mapper-host-and-one-switch network is
+      // exactly this shape.
+      bool host_neighbor = false;
+      for (const auto& [index, list] : vertices_[v].slots) {
+        for (const EdgeId e : list) {
+          const auto [far, far_index] = far_end(e, v, index);
+          if (far != v && vertices_[far].kind == topo::NodeKind::kHost) {
+            host_neighbor = true;
+          }
+        }
+      }
+      if (host_neighbor) {
+        continue;
+      }
       // Copy out the incident edges before killing them.
       std::vector<EdgeId> incident;
       for (const auto& [index, list] : vertices_[v].slots) {

@@ -82,8 +82,12 @@ class ModelGraph {
   /// the number of vertex merges performed.
   int stabilize();
 
-  /// Final prune (§3.1 PRUNE): repeatedly deletes switch vertices with at
-  /// most one incident edge-end. Returns the number of vertices deleted.
+  /// Final prune (§3.1 PRUNE): repeatedly deletes dead-end switch vertices
+  /// (at most one incident edge-end, and that edge not leading to a host —
+  /// a host-adjacent switch is in the core by Lemma 1). Returns the number
+  /// of vertices deleted. Degree-based pruning cannot see separated
+  /// clusters that contain cycles; the mappers take topo::core() of the
+  /// extracted map for those.
   int prune();
 
   // -- queries --------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "mapper/explorer.hpp"
+#include "topology/algorithms.hpp"
 
 namespace sanmap::mapper {
 
@@ -110,6 +111,13 @@ MapResult RandomizedMapper::run() {
   result.merges += static_cast<std::size_t>(model_.stabilize());
   result.pruned = static_cast<std::size_t>(model_.prune());
   result.map = model_.extract();
+  // Shed separated clusters the degree-based prune cannot reach (see
+  // BerkeleyMapper::run).
+  {
+    const std::size_t before = result.map.num_nodes();
+    result.map = topo::core(result.map);
+    result.pruned += before - result.map.num_nodes();
+  }
   result.probes = engine_->counters();
   result.elapsed = engine_->elapsed();
   return result;

@@ -164,6 +164,52 @@ RobustMapper::SweepOutcome RobustMapper::sweep_round(topo::Topology& work,
         }
       };
 
+      // The mapper's own wire is every route's first hop, yet a round over
+      // a map with no other hosts and no occupied far ports consists only
+      // of expects-nothing checks — a dead first switch answers nothing
+      // everywhere and would pass such a sweep unnoticed. Verify the first
+      // hop positively, once per round.
+      const std::string root_key = "@mapper-wire";
+      if (const auto root_peer = work.peer(*mapper, 0);
+          root_peer && !checked(root_key)) {
+        if (budget_exhausted()) {
+          return SweepOutcome::kBudget;
+        }
+        const bool expect_switch = work.is_switch(root_peer->node);
+        const auto answers = [&] {
+          const probe::Response r = engine_->probe(simnet::Route{});
+          if (expect_switch) {
+            return r.kind == probe::ResponseKind::kSwitch;
+          }
+          return r.kind == probe::ResponseKind::kHost &&
+                 r.host_name == work.name(root_peer->node);
+        };
+        int hits = answers() ? 1 : 0;
+        int attempts = 1;
+        if (hits == 0) {
+          for (int i = 0; i < config_.confirm_probes && !budget_exhausted();
+               ++i) {
+            ++attempts;
+            if (answers()) {
+              ++hits;
+              break;
+            }
+          }
+        }
+        if (hits == 0) {
+          register_transition(root_key, result);
+          excise_wire(work, *work.wire_at(*mapper, 0), result);
+          excised_any = true;
+          return std::nullopt;
+        }
+        if (attempts > 1) {
+          ++round_mixed_bursts_;
+          lower_confidence(*work.wire_at(*mapper, 0),
+                           static_cast<double>(hits) / attempts);
+        }
+        alive_checked.push_back(root_key);
+      }
+
       std::vector<topo::NodeId> order;
       const std::vector<MapReach> reach = map_reach(work, *mapper, &order);
       for (const topo::NodeId s : order) {
@@ -422,6 +468,7 @@ RobustResult RobustMapper::run() {
       engine_->set_clock_base(now_);
       engine_->reset();
       ++result.sweep_rounds;
+      const common::SimTime round_began = now_;
       const SweepOutcome outcome = sweep_round(work, result);
       end_phase();
       if (round_mixed_bursts_ >= 3) {
@@ -429,6 +476,7 @@ RobustResult RobustMapper::run() {
       }
       if (outcome == SweepOutcome::kClean) {
         converged = true;
+        result.stable_since = round_began;
         break;
       }
       if (outcome == SweepOutcome::kNeedsRemap) {

@@ -138,6 +138,14 @@ struct RobustResult {
   /// clock base advances monotonically across passes, so a FaultSchedule
   /// sees one continuous timeline).
   common::SimTime elapsed{};
+
+  /// Start instant of the stability sweep round whose clean outcome set
+  /// `converged`. The map reflects no observation older than this: a fault
+  /// landing in (stable_since, elapsed] after its port's last probe is
+  /// fundamentally undetectable by the session ("blind window"), so
+  /// external oracles must not hold the map to it. Meaningful only when
+  /// `converged` is true.
+  common::SimTime stable_since{};
 };
 
 class RobustMapper {

@@ -89,8 +89,8 @@ DeadlockAnalysis analyze(const topo::Topology& topo,
 
 }  // namespace
 
-DeadlockAnalysis analyze_routes(const topo::Topology& topo,
-                                const RoutingResult& routes) {
+std::vector<std::vector<Channel>> route_channel_paths(
+    const topo::Topology& topo, const RoutingResult& routes) {
   std::vector<std::vector<Channel>> paths;
   paths.reserve(routes.routes.size());
   for (const auto& [key, route] : routes.routes) {
@@ -103,7 +103,12 @@ DeadlockAnalysis analyze_routes(const topo::Topology& topo,
     }
     paths.push_back(std::move(channels));
   }
-  return analyze(topo, paths);
+  return paths;
+}
+
+DeadlockAnalysis analyze_routes(const topo::Topology& topo,
+                                const RoutingResult& routes) {
+  return analyze(topo, route_channel_paths(topo, routes));
 }
 
 DeadlockAnalysis analyze_channel_paths(

@@ -31,6 +31,13 @@ struct DeadlockAnalysis {
   std::vector<Channel> cycle;
 };
 
+/// The channel sequence each route holds, in order — the exact dependency
+/// inputs analyze_routes works from. Exposed so an independent cycle
+/// detector (src/verify's differential deadlock oracle) can be run on the
+/// same inputs rather than on its own re-derivation of them.
+std::vector<std::vector<Channel>> route_channel_paths(
+    const topo::Topology& topo, const RoutingResult& routes);
+
 /// Analyzes a route set over its topology.
 DeadlockAnalysis analyze_routes(const topo::Topology& topo,
                                 const RoutingResult& routes);

@@ -93,13 +93,20 @@ DeliveryResult Network::send(topo::NodeId src_host, const Route& route,
                    "route contains a turn outside [-7, +7]");
 
   ++counters_.messages;
+  if (hook_ != nullptr) {
+    hook_->on_message_begin(src_host, route, at);
+  }
   topo::NodeId bounce_switch = topo::kInvalidNode;
   const auto finish = [&](DeliveryStatus status, topo::NodeId where,
                           int hops,
                           common::SimTime latency) -> DeliveryResult {
     ++counters_.by_status[static_cast<std::size_t>(status)];
     counters_.wire_traversals += static_cast<std::uint64_t>(hops);
-    return DeliveryResult{status, where, hops, latency, bounce_switch};
+    const DeliveryResult result{status, where, hops, latency, bounce_switch};
+    if (hook_ != nullptr) {
+      hook_->on_message_end(result, counters_);
+    }
+    return result;
   };
   if (visited) {
     visited->clear();
@@ -209,6 +216,9 @@ DeliveryResult Network::send(topo::NodeId src_host, const Route& route,
     }
     last_crossing[key] = hop;
     ++hop;
+    if (hook_ != nullptr) {
+      hook_->on_hop(*wire_id, here, far);
+    }
     node = far.node;
     if (visited) {
       visited->push_back(node);

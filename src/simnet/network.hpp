@@ -116,6 +116,33 @@ struct FaultModel {
   double corrupt_probability = 0.0;
 };
 
+struct NetworkCounters;
+
+/// Observer interface for verification instrumentation. The network reports
+/// every message's lifecycle — injection, each wire crossing, termination —
+/// so an external checker (src/verify's conservation oracle) can enforce
+/// accounting invariants without a side channel into the forwarding loop.
+/// Hooks see exactly what the hardware did; they must not mutate anything.
+class InvariantHook {
+ public:
+  virtual ~InvariantHook() = default;
+
+  /// A message is about to be injected at `src_host` at instant `at`.
+  virtual void on_message_begin(topo::NodeId src_host, const Route& route,
+                                common::SimTime at) = 0;
+
+  /// The worm's head crossed `wire`, leaving the port at `from` and
+  /// arriving at `to` (the two ends of the wire; for a self-loop both name
+  /// the same node).
+  virtual void on_hop(topo::WireId wire, topo::PortRef from,
+                      topo::PortRef to) = 0;
+
+  /// The message terminated with `result`; `counters` is the network's
+  /// running tally *after* this message was accounted.
+  virtual void on_message_end(const DeliveryResult& result,
+                              const NetworkCounters& counters) = 0;
+};
+
 /// Per-status message counters plus totals.
 struct NetworkCounters {
   std::array<std::uint64_t, kNumDeliveryStatuses> by_status{};
@@ -166,6 +193,11 @@ class Network {
     return fault_schedule_;
   }
 
+  /// Attaches an invariant hook (not owned; may be null to detach). The
+  /// hook observes every subsequent send().
+  void attach_hook(InvariantHook* hook) { hook_ = hook; }
+  [[nodiscard]] InvariantHook* hook() const { return hook_; }
+
   [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
   [[nodiscard]] const CostModel& cost() const { return cost_; }
   [[nodiscard]] CollisionModel collision_model() const { return collision_; }
@@ -185,6 +217,7 @@ class Network {
   HardwareExtensions extensions_;
   const TrafficSchedule* traffic_ = nullptr;
   const FaultSchedule* fault_schedule_ = nullptr;
+  InvariantHook* hook_ = nullptr;
   common::Rng rng_;
   NetworkCounters counters_;
 };

@@ -29,7 +29,7 @@ std::string to_text(const Topology& topo) {
   return oss.str();
 }
 
-Topology read_topology(std::istream& is) {
+Topology read_topology(std::istream& is, bool stop_at_end) {
   Topology topo;
   std::map<std::string, NodeId> by_name;
   std::string line;
@@ -44,6 +44,9 @@ Topology read_topology(std::istream& is) {
     std::string keyword;
     if (!(ls >> keyword) || keyword[0] == '#') {
       continue;
+    }
+    if (stop_at_end && keyword == "end") {
+      break;
     }
     if (keyword == "host" || keyword == "switch") {
       std::string node_name;

@@ -23,8 +23,11 @@ void write_topology(std::ostream& os, const Topology& topo);
 std::string to_text(const Topology& topo);
 
 /// Parses the v1 text format. Throws std::runtime_error with a line number
-/// on malformed input.
-Topology read_topology(std::istream& is);
+/// on malformed input. With `stop_at_end`, parsing stops (consuming the
+/// marker) at a line whose first token is "end" — used by embedders that
+/// carry a topology as one section of a larger file (src/verify's scenario
+/// cases); without it the whole stream is read.
+Topology read_topology(std::istream& is, bool stop_at_end = false);
 Topology from_text(const std::string& text);
 
 /// Graphviz dot rendering: hosts as boxes, switches as records showing port

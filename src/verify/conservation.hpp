@@ -1,0 +1,84 @@
+// Conservation oracle: message-accounting invariants over simnet::Network.
+//
+// Attached as an InvariantHook, the checker observes every message the
+// network executes — injection, each wire crossing, termination — and
+// enforces the invariants the simulator is supposed to maintain by
+// construction:
+//
+//  * lifecycle: begins and ends alternate strictly (no nested or orphaned
+//    messages), and every send that begins also ends;
+//  * hop conservation: the hops reported in DeliveryResult equal the wire
+//    crossings the hook observed, and the network's wire_traversals counter
+//    advances by exactly that amount;
+//  * counter conservation: the per-status counters always sum to the
+//    message total, and both advance by exactly one per message;
+//  * path legality: every observed hop crosses a live wire of the topology,
+//    leaves a real port of its from-node and arrives at the far end that
+//    the topology records for that wire, and consecutive hops are
+//    port-adjacent (the worm leaves from the node it last arrived at);
+//  * termination placement: a delivered message ends at a live host; a
+//    message that never left the source reports zero hops.
+//
+// Violations are collected, not thrown: the fuzzer wants to finish the
+// case, report every broken invariant, and hand the case to the minimizer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simnet/network.hpp"
+#include "topology/topology.hpp"
+
+namespace sanmap::verify {
+
+class ConservationChecker final : public simnet::InvariantHook {
+ public:
+  /// The checker validates hops against `topo` — the same topology the
+  /// observed network executes over.
+  explicit ConservationChecker(const topo::Topology& topo);
+
+  void on_message_begin(topo::NodeId src_host, const simnet::Route& route,
+                        common::SimTime at) override;
+  void on_hop(topo::WireId wire, topo::PortRef from,
+              topo::PortRef to) override;
+  void on_message_end(const simnet::DeliveryResult& result,
+                      const simnet::NetworkCounters& counters) override;
+
+  /// Closes the books: reports a message that began but never ended.
+  /// Call after the observed session is over.
+  void finish();
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t messages_seen() const { return messages_seen_; }
+
+ private:
+  void violate(const std::string& detail);
+
+  const topo::Topology* topo_;
+  std::vector<std::string> violations_;
+
+  bool in_flight_ = false;
+  topo::NodeId current_src_ = topo::kInvalidNode;
+  int observed_hops_ = 0;
+  /// Where the worm's head last arrived (the source host before any hop).
+  topo::PortRef head_{};
+  bool head_known_ = false;
+
+  std::uint64_t messages_seen_ = 0;
+  std::uint64_t traversals_seen_ = 0;
+  /// Last counter totals seen at a message end, to check per-message deltas.
+  std::uint64_t last_messages_ = 0;
+  std::uint64_t last_traversals_ = 0;
+  bool have_baseline_ = false;
+
+  /// Cap stored violations (a badly broken network would otherwise produce
+  /// one per hop of every message).
+  static constexpr std::size_t kMaxViolations = 64;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace sanmap::verify

@@ -1,0 +1,136 @@
+#include "verify/minimize.hpp"
+
+namespace sanmap::verify {
+
+namespace {
+
+using topo::NodeId;
+using topo::WireId;
+
+class Shrinker {
+ public:
+  Shrinker(std::string target, const MinimizeOptions& options)
+      : target_(std::move(target)), options_(&options) {}
+
+  /// Oracle-run-budgeted predicate: does the candidate still trip the
+  /// target oracle?
+  bool still_fails(const ScenarioCase& candidate) {
+    if (checks_ >= options_->max_checks) {
+      exhausted_ = true;
+      return false;
+    }
+    ++checks_;
+    return run_oracles(candidate, options_->oracle).violates(target_);
+  }
+
+  [[nodiscard]] int checks() const { return checks_; }
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+
+  /// One pass of each deletion family over `best`; true when anything was
+  /// deleted.
+  bool pass(ScenarioCase& best) {
+    bool changed = false;
+    changed |= shrink_faults(best);
+    changed |= shrink_nodes(best);
+    changed |= shrink_wires(best);
+    return changed;
+  }
+
+ private:
+  bool shrink_faults(ScenarioCase& best) {
+    bool changed = false;
+    std::size_t i = 0;
+    while (i < best.faults.size()) {
+      ScenarioCase candidate = best;
+      candidate.faults.erase(candidate.faults.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        changed = true;  // same index now names the next event
+      } else {
+        ++i;
+      }
+      if (exhausted_) {
+        break;
+      }
+    }
+    return changed;
+  }
+
+  bool shrink_nodes(ScenarioCase& best) {
+    bool changed = false;
+    const NodeId mapper = best.mapper_node();
+    // Node ids are tombstone-stable, so one snapshot survives deletions.
+    for (const NodeId n : best.network.nodes()) {
+      if (n == mapper || !best.network.node_alive(n)) {
+        continue;
+      }
+      ScenarioCase candidate = best;
+      candidate.network.remove_node(n);
+      candidate.drop_dangling_faults();
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        changed = true;
+      }
+      if (exhausted_) {
+        break;
+      }
+    }
+    return changed;
+  }
+
+  bool shrink_wires(ScenarioCase& best) {
+    bool changed = false;
+    for (const WireId w : best.network.wires()) {
+      if (!best.network.wire_alive(w)) {
+        continue;
+      }
+      ScenarioCase candidate = best;
+      candidate.network.disconnect(w);
+      candidate.drop_dangling_faults();
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        changed = true;
+      }
+      if (exhausted_) {
+        break;
+      }
+    }
+    return changed;
+  }
+
+  std::string target_;
+  const MinimizeOptions* options_;
+  int checks_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+std::optional<MinimizeResult> minimize(const ScenarioCase& c,
+                                       const MinimizeOptions& options) {
+  const OracleReport initial = run_oracles(c, options.oracle);
+  if (initial.ok()) {
+    return std::nullopt;
+  }
+  MinimizeResult result;
+  result.target_oracle = initial.violations.front().oracle;
+  result.best = c;
+  result.best.name = c.name + "-min";
+  // Pin the mapper host by name: with an empty mapper_host field the
+  // "first host" default could silently shift as hosts are deleted.
+  result.best.mapper_host = c.network.name(c.mapper_node());
+
+  Shrinker shrinker(result.target_oracle, options);
+  while (shrinker.pass(result.best)) {
+    ++result.rounds;
+    if (shrinker.exhausted()) {
+      break;
+    }
+  }
+  result.checks = shrinker.checks() + 1;  // + the initial qualifying run
+  result.budget_exhausted = shrinker.exhausted();
+  return result;
+}
+
+}  // namespace sanmap::verify

@@ -1,0 +1,49 @@
+// Failure minimizer: shrinks a violating case to a hand-checkable repro.
+//
+// Greedy delta debugging over the case's structure: repeatedly try to
+// delete one element — a fault event, a node (with its wires), a wire —
+// and keep the deletion whenever the shrunk case still triggers the SAME
+// oracle that the input violated. Iterates to a fixpoint under an oracle-run
+// budget. The mapper host is never deleted (a case needs one), and fault
+// events orphaned by a structural deletion are dropped rather than left
+// dangling.
+//
+// The result is what goes into a bug report and into tests/corpus/: the
+// smallest case the greedy pass can reach, not a global minimum — which in
+// practice is a handful of nodes (see tests/verify_test.cpp's planted
+// sabotage, which shrinks to <= 6).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "verify/oracles.hpp"
+#include "verify/scenario_case.hpp"
+
+namespace sanmap::verify {
+
+struct MinimizeOptions {
+  /// Oracle configuration the violation was found under (sabotage flags
+  /// etc. must match, or the violation may not reproduce at all).
+  OracleOptions oracle;
+  /// Budget of oracle re-runs; the pass stops wherever it stands when the
+  /// budget runs out.
+  int max_checks = 400;
+};
+
+struct MinimizeResult {
+  ScenarioCase best;
+  /// The oracle key whose violation the shrink preserved.
+  std::string target_oracle;
+  int checks = 0;
+  int rounds = 0;
+  /// The budget ran out before the fixpoint.
+  bool budget_exhausted = false;
+};
+
+/// Shrinks `c`. Returns nullopt when `c` does not violate any oracle under
+/// `options.oracle` (nothing to preserve).
+std::optional<MinimizeResult> minimize(const ScenarioCase& c,
+                                       const MinimizeOptions& options = {});
+
+}  // namespace sanmap::verify

@@ -1,0 +1,331 @@
+#include "verify/oracles.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "mapper/berkeley_mapper.hpp"
+#include "mapper/robust_mapper.hpp"
+#include "myricom/myricom_mapper.hpp"
+#include "probe/probe_engine.hpp"
+#include "routing/routes.hpp"
+#include "topology/algorithms.hpp"
+#include "topology/isomorphism.hpp"
+#include "verify/conservation.hpp"
+
+namespace sanmap::verify {
+
+bool OracleReport::violates(const std::string& oracle) const {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const Violation& v) { return v.oracle == oracle; });
+}
+
+std::string OracleReport::summary() const {
+  std::ostringstream oss;
+  for (const Violation& v : violations) {
+    oss << "VIOLATION " << v.oracle << ": " << v.detail << '\n';
+  }
+  for (const std::string& s : skipped) {
+    oss << "skipped " << s << '\n';
+  }
+  return oss.str();
+}
+
+bool channel_paths_acyclic(
+    const std::vector<std::vector<routing::Channel>>& paths) {
+  // Dense channel indexing; dependency edges deduplicated per source.
+  std::map<routing::Channel, std::size_t> index;
+  const auto id_of = [&](const routing::Channel& ch) {
+    return index.emplace(ch, index.size()).first->second;
+  };
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> in_degree;
+  const auto grow = [&](std::size_t n) {
+    if (out.size() <= n) {
+      out.resize(n + 1);
+      in_degree.resize(n + 1, 0);
+    }
+  };
+  for (const auto& path : paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const std::size_t from = id_of(path[i]);
+      const std::size_t to = id_of(path[i + 1]);
+      grow(std::max(from, to));
+      if (std::find(out[from].begin(), out[from].end(), to) ==
+          out[from].end()) {
+        out[from].push_back(to);
+        ++in_degree[to];
+      }
+    }
+  }
+  grow(index.empty() ? 0 : index.size() - 1);
+  // Kahn: repeatedly eliminate zero-in-degree channels; a leftover means a
+  // cycle.
+  std::vector<std::size_t> ready;
+  for (std::size_t v = 0; v < in_degree.size(); ++v) {
+    if (in_degree[v] == 0) {
+      ready.push_back(v);
+    }
+  }
+  std::size_t eliminated = 0;
+  while (!ready.empty()) {
+    const std::size_t v = ready.back();
+    ready.pop_back();
+    ++eliminated;
+    for (const std::size_t w : out[v]) {
+      if (--in_degree[w] == 0) {
+        ready.push_back(w);
+      }
+    }
+  }
+  return eliminated == in_degree.size();
+}
+
+namespace {
+
+using topo::NodeId;
+using topo::Topology;
+
+std::string describe(const Topology& t) {
+  std::ostringstream oss;
+  oss << t.num_hosts() << "h/" << t.num_switches() << "s/" << t.num_wires()
+      << "w";
+  return oss.str();
+}
+
+/// A copy of `t` restricted to the connected component containing `keep`.
+Topology component_of(const Topology& t, NodeId keep) {
+  Topology local = t;
+  std::vector<int> component;
+  topo::components(local, component);
+  for (const NodeId n : local.nodes()) {
+    if (component[n] != component[keep]) {
+      local.remove_node(n);
+    }
+  }
+  return local;
+}
+
+/// The §3.1.4 depth bound when the paper's standing assumptions hold;
+/// otherwise a generous structural bound (depth only caps route length, so
+/// overshooting is safe, undershooting is not).
+int pick_search_depth(const Topology& local, NodeId mapper) {
+  if (local.num_switches() >= 1 && local.num_hosts() >= 2 &&
+      topo::connected(local)) {
+    return topo::search_depth(local, mapper);
+  }
+  return std::max<int>(1, static_cast<int>(2 * local.num_wires() + 3));
+}
+
+void drain_conservation(ConservationChecker& checker, OracleReport& report) {
+  checker.finish();
+  for (const std::string& v : checker.violations()) {
+    report.violations.push_back({"conservation", v});
+  }
+}
+
+void run_quiescent_oracles(const ScenarioCase& c, const OracleOptions& options,
+                           NodeId mapper, const Topology& local, int depth,
+                           OracleReport& report) {
+  bool have_berkeley = false;
+  mapper::MapResult berkeley;
+  if (options.berkeley) {
+    simnet::Network net(c.network, c.collision);
+    ConservationChecker checker(c.network);
+    if (options.conservation) {
+      net.attach_hook(&checker);
+    }
+    probe::ProbeEngine engine(net, mapper);
+    mapper::MapperConfig config;
+    config.search_depth = depth;
+    config.max_explorations = options.max_explorations;
+    config.sabotage_skip_merges = options.sabotage_skip_merges;
+    try {
+      berkeley = mapper::BerkeleyMapper(engine, config).run();
+      have_berkeley = true;
+    } catch (const std::exception& e) {
+      report.violations.push_back({"berkeley-crash", e.what()});
+    }
+    if (options.conservation) {
+      drain_conservation(checker, report);
+    }
+    if (have_berkeley) {
+      const Topology truth = topo::core(local);
+      if (!topo::isomorphic(berkeley.map, truth)) {
+        report.violations.push_back(
+            {"berkeley-iso", "map " + describe(berkeley.map) +
+                                 " is not isomorphic to core " +
+                                 describe(truth)});
+      }
+    }
+  } else {
+    report.skipped.push_back("berkeley-iso: disabled");
+  }
+
+  if (options.myricom &&
+      c.collision == simnet::CollisionModel::kCutThrough &&
+      local.num_switches() >= 1) {
+    simnet::Network net(c.network, c.collision);
+    bool have_myricom = false;
+    myricom::MyricomResult result;
+    try {
+      result = myricom::MyricomMapper(net, mapper).run();
+      have_myricom = true;
+    } catch (const std::exception& e) {
+      report.violations.push_back({"myricom-crash", e.what()});
+    }
+    if (have_myricom) {
+      if (!topo::isomorphic(result.map, local)) {
+        report.violations.push_back(
+            {"myricom-diff", "Myricom map " + describe(result.map) +
+                                 " is not isomorphic to the full component " +
+                                 describe(local)});
+      } else if (have_berkeley &&
+                 !topo::isomorphic(topo::core(result.map), berkeley.map)) {
+        report.violations.push_back(
+            {"myricom-diff",
+             "core of Myricom map disagrees with the Berkeley map"});
+      }
+    }
+  } else {
+    report.skipped.push_back(
+        options.myricom ? (local.num_switches() == 0
+                               ? "myricom-diff: switchless component"
+                               : "myricom-diff: requires cut-through")
+                        : "myricom-diff: disabled");
+  }
+
+  if (options.deadlock && have_berkeley && berkeley.map.num_switches() >= 1 &&
+      berkeley.map.num_hosts() >= 1) {
+    try {
+      const routing::RoutingResult routes =
+          routing::compute_updown_routes(berkeley.map, {}, options.route_seed);
+      if (!routing::updown_compliant(routes)) {
+        report.violations.push_back(
+            {"deadlock-updown", "a route takes a down-to-up turn"});
+      }
+      const auto paths =
+          routing::route_channel_paths(berkeley.map, routes);
+      const routing::DeadlockAnalysis analysis =
+          routing::analyze_channel_paths(berkeley.map, paths);
+      const bool independent = channel_paths_acyclic(paths);
+      if (!analysis.deadlock_free) {
+        report.violations.push_back(
+            {"deadlock-cycle",
+             "channel dependency cycle of " +
+                 std::to_string(analysis.cycle.size()) + " channels"});
+      }
+      if (analysis.deadlock_free != independent) {
+        report.violations.push_back(
+            {"deadlock-differential",
+             std::string("DFS coloring says ") +
+                 (analysis.deadlock_free ? "acyclic" : "cyclic") +
+                 " but Kahn elimination says " +
+                 (independent ? "acyclic" : "cyclic")});
+      }
+    } catch (const std::exception& e) {
+      report.violations.push_back({"routing-crash", e.what()});
+    }
+  } else {
+    report.skipped.push_back(
+        options.deadlock ? "deadlock: no usable Berkeley map"
+                         : "deadlock: disabled");
+  }
+}
+
+void run_faulted_oracles(const ScenarioCase& c, const OracleOptions& options,
+                         NodeId mapper, int depth, OracleReport& report) {
+  if (!options.robust) {
+    report.skipped.push_back("robust-iso: disabled");
+    return;
+  }
+  simnet::Network net(c.network, c.collision);
+  const simnet::FaultSchedule schedule = c.schedule();
+  net.attach_faults(&schedule);
+  ConservationChecker checker(c.network);
+  if (options.conservation) {
+    net.attach_hook(&checker);
+  }
+  probe::ProbeEngine engine(net, mapper);
+  mapper::RobustConfig config;
+  config.base.search_depth = depth;
+  config.base.max_explorations = options.max_explorations;
+  config.base.sabotage_skip_merges = options.sabotage_skip_merges;
+  bool have_result = false;
+  mapper::RobustResult result;
+  try {
+    result = mapper::RobustMapper(engine, config).run();
+    have_result = true;
+  } catch (const std::exception& e) {
+    report.violations.push_back({"robust-crash", e.what()});
+  }
+  if (options.conservation) {
+    drain_conservation(checker, report);
+  }
+  if (!have_result) {
+    return;
+  }
+  if (c.has_flap()) {
+    report.skipped.push_back(
+        "robust-iso: flapping timeline (crash/conservation checks only)");
+    return;
+  }
+  if (!result.converged) {
+    report.skipped.push_back("robust-iso: session did not converge");
+    return;
+  }
+  if (!result.quarantined_ports.empty()) {
+    report.skipped.push_back("robust-iso: ports were quarantined");
+    return;
+  }
+  // Blind-window race: a fault landing after the final clean sweep began
+  // but before the session's end instant may postdate the last probe that
+  // observed its port, so no mapper could reflect it. Holding the map to
+  // surviving(elapsed) would then be an over-claim, not a bug.
+  for (const FaultEvent& event : c.faults) {
+    if (event.at >= result.stable_since && event.at <= result.elapsed) {
+      report.skipped.push_back(
+          "robust-iso: fault inside the final-sweep blind window");
+      return;
+    }
+  }
+  // The established Theorem-1-under-faults oracle: the surviving network at
+  // convergence time, restricted to the mapper's component, cored.
+  Topology alive = schedule.surviving(c.network, result.elapsed);
+  if (mapper >= alive.node_capacity() || !alive.node_alive(mapper)) {
+    report.skipped.push_back("robust-iso: mapper host itself failed");
+    return;
+  }
+  const Topology truth = topo::core(component_of(alive, mapper));
+  if (!topo::isomorphic(result.map, truth)) {
+    report.violations.push_back(
+        {"robust-iso", "healed map " + describe(result.map) +
+                           " is not isomorphic to the surviving core " +
+                           describe(truth)});
+  }
+}
+
+}  // namespace
+
+OracleReport run_oracles(const ScenarioCase& c, const OracleOptions& options) {
+  OracleReport report;
+  NodeId mapper = topo::kInvalidNode;
+  try {
+    mapper = c.mapper_node();
+  } catch (const std::exception& e) {
+    report.skipped.push_back(std::string("all: ") + e.what());
+    return report;
+  }
+  const Topology local = component_of(c.network, mapper);
+  const int depth = pick_search_depth(local, mapper);
+
+  if (c.quiescent()) {
+    run_quiescent_oracles(c, options, mapper, local, depth, report);
+  } else {
+    run_faulted_oracles(c, options, mapper, depth, report);
+  }
+  return report;
+}
+
+}  // namespace sanmap::verify

@@ -1,0 +1,100 @@
+// The differential oracle stack: every check the fuzzer runs on a case.
+//
+// Each oracle is an independent statement about one mapping session over
+// the case's network, with the ground truth computed from the case itself
+// (the fuzzer knows N; the mapper must rediscover it):
+//
+//  * berkeley-iso   — BerkeleyMapper's map is isomorphic to core(C) where
+//                     C is the mapper host's connected component (Theorem 1,
+//                     restricted to the reachable part of a possibly
+//                     disconnected fuzz case). Any exception out of the
+//                     mapper is a violation of its own (berkeley-crash).
+//  * myricom-diff   — on a quiescent cut-through case, MyricomMapper's map
+//                     is isomorphic to ALL of C (§4.1 maps host-free
+//                     regions too), and the two mappers agree differentially:
+//                     core(Myricom's map) ≅ Berkeley's map.
+//  * deadlock       — UP*/DOWN* routes over the Berkeley map are compliant
+//                     and deadlock-free per routing::analyze_routes (DFS
+//                     3-coloring), AND an independent Kahn's-algorithm
+//                     detector over the same routing::route_channel_paths
+//                     input reaches the same acyclicity verdict.
+//  * conservation   — the ConservationChecker hook, attached to the network
+//                     for the whole mapping session, observed no accounting
+//                     violation.
+//  * robust-iso     — for cases with a (flap-free) fault timeline: a
+//                     converged RobustMapper session yields the map of the
+//                     surviving component's core at convergence time.
+//                     Non-convergence is a skip, not a violation; so is a
+//                     fault landing inside [stable_since, elapsed] — the
+//                     session's blind window, where no mapper could have
+//                     observed the change.
+//
+// Oracles that do not apply to a case (Myricom under circuit switching,
+// deadlock on a switchless map, iso under flapping links) are recorded as
+// skipped so a fuzzing report can prove coverage, not just absence of
+// failures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "routing/deadlock.hpp"
+#include "verify/scenario_case.hpp"
+
+namespace sanmap::verify {
+
+struct Violation {
+  /// Stable oracle key: "berkeley-iso", "berkeley-crash", "myricom-diff",
+  /// "myricom-crash", "deadlock-updown", "deadlock-cycle",
+  /// "deadlock-differential", "routing-crash", "conservation",
+  /// "robust-iso", "robust-crash".
+  std::string oracle;
+  std::string detail;
+};
+
+struct OracleReport {
+  std::vector<Violation> violations;
+  /// "oracle: reason" for every check that did not apply to this case.
+  std::vector<std::string> skipped;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// True when some violation's oracle key equals `oracle`.
+  [[nodiscard]] bool violates(const std::string& oracle) const;
+  /// One line per violation/skip, for logs and artifacts.
+  [[nodiscard]] std::string summary() const;
+};
+
+struct OracleOptions {
+  bool berkeley = true;
+  bool myricom = true;
+  bool deadlock = true;
+  bool conservation = true;
+  bool robust = true;
+
+  /// Plumbed into MapperConfig::sabotage_skip_merges: breaks the mapper on
+  /// purpose so the fuzzer's catch-and-minimize path can be verified.
+  bool sabotage_skip_merges = false;
+
+  /// Seed for the UP*/DOWN* parallel-cable tie-break.
+  std::uint64_t route_seed = 1;
+
+  /// MapperConfig::max_explorations for oracle-run mapping sessions. Far
+  /// above anything a healthy session needs on fuzz-sized cases, but it
+  /// bounds a sabotaged (merge-free) mapper to seconds instead of hours.
+  std::size_t max_explorations = 2048;
+};
+
+/// Runs every applicable oracle on the case.
+OracleReport run_oracles(const ScenarioCase& c,
+                         const OracleOptions& options = {});
+
+/// The independent channel-dependency-graph acyclicity check: Kahn's
+/// algorithm (iterated zero-in-degree elimination) over the dependencies in
+/// `paths` — deliberately a different algorithm from the DFS 3-coloring in
+/// routing::analyze_channel_paths, so the two can cross-check each other.
+/// Returns true when the dependency graph is acyclic.
+bool channel_paths_acyclic(
+    const std::vector<std::vector<routing::Channel>>& paths);
+
+}  // namespace sanmap::verify

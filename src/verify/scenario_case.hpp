@@ -1,0 +1,103 @@
+// A fuzz scenario: one self-contained, replayable test case for the
+// differential verification subsystem.
+//
+// A case bundles everything the oracle stack needs to re-run a mapping
+// session bit-for-bit: the ground-truth network, the mapper host, the
+// collision model (§2.3.1), and a timed fault timeline. Cases serialize to
+// the "sanmap case v1" text format so a corpus can live in the repository
+// and a minimized repro can travel in a bug report:
+//
+//   # sanmap case v1
+//   case <name>
+//   collision cut-through|circuit|packet
+//   mapper <host-name>
+//   topology
+//     ... "sanmap topology v1" lines (host/switch/wire) ...
+//   end
+//   fault link-down <name-a> <port-a> <name-b> <port-b> <at-ns>
+//   fault link-up   <name-a> <port-a> <name-b> <port-b> <at-ns>
+//   fault node-down <name> <at-ns>
+//   fault node-up   <name> <at-ns>
+//   fault flap      <name-a> <port-a> <name-b> <port-b> <period-ns> <duty>
+//                   <start-ns>
+//
+// Wires are referenced by their endpoints (names + ports), never by raw
+// ids: endpoint references survive re-serialization of a mutated topology,
+// raw ids do not.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "simnet/fault_schedule.hpp"
+#include "simnet/network.hpp"
+#include "topology/topology.hpp"
+
+namespace sanmap::verify {
+
+/// One timeline entry of a case's fault schedule. Wire ids reference the
+/// case's own topology.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kLinkDown,
+    kLinkUp,
+    kNodeDown,
+    kNodeUp,
+    kFlap,
+  };
+
+  Kind kind = Kind::kLinkDown;
+  /// Link/flap events: the wire (id in the case topology).
+  topo::WireId wire = topo::kInvalidWire;
+  /// Node events: the node (id in the case topology).
+  topo::NodeId node = topo::kInvalidNode;
+  common::SimTime at{};      // event instant / flap start
+  common::SimTime period{};  // kFlap only
+  double duty = 0.0;         // kFlap only
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+const char* to_string(FaultEvent::Kind kind);
+
+struct ScenarioCase {
+  std::string name = "case";
+  topo::Topology network;
+  /// Mapper host by name (names survive serialization; ids may not).
+  /// Empty picks the first host.
+  std::string mapper_host;
+  simnet::CollisionModel collision = simnet::CollisionModel::kCutThrough;
+  std::vector<FaultEvent> faults;
+
+  /// Resolves the mapper host id; throws std::runtime_error when the case
+  /// has no usable mapper host.
+  [[nodiscard]] topo::NodeId mapper_node() const;
+
+  /// Materializes the fault timeline as a simnet::FaultSchedule.
+  [[nodiscard]] simnet::FaultSchedule schedule() const;
+
+  [[nodiscard]] bool quiescent() const { return faults.empty(); }
+  [[nodiscard]] bool has_flap() const;
+
+  /// Drops fault events that reference dead wires/nodes (mutation and
+  /// minimization can orphan them). Returns how many were dropped.
+  std::size_t drop_dangling_faults();
+};
+
+/// Writes the case in the v1 text format.
+void write_case(std::ostream& os, const ScenarioCase& c);
+std::string to_text(const ScenarioCase& c);
+
+/// Parses the v1 text format. Throws std::runtime_error with a line number
+/// on malformed input.
+ScenarioCase read_case(std::istream& is);
+ScenarioCase case_from_text(const std::string& text);
+
+/// File convenience wrappers. Throw std::runtime_error on I/O failure.
+void write_case_file(const std::string& path, const ScenarioCase& c);
+ScenarioCase read_case_file(const std::string& path);
+
+}  // namespace sanmap::verify

@@ -1,0 +1,188 @@
+// sanfuzz — the differential verification driver.
+//
+//   sanfuzz [--trials N] [--seed S] [--max-mutations M]      fuzz campaign
+//           [--corpus DIR] [--artifacts DIR] [--sabotage]
+//           [--no-shrink]
+//   sanfuzz --replay FILE [--sabotage]                       one case
+//   sanfuzz --replay-dir DIR [--sabotage]                    a corpus
+//   sanfuzz --shrink-case FILE [--sabotage]                  minimize a repro
+//   sanfuzz --write-corpus DIR                               emit seed corpus
+//
+// Cases use the "sanmap case v1" text format (src/verify/scenario_case.hpp).
+// Every reported failure prints the exact (seed, trial, case-seed) triple
+// and the repro file path, so any violation is replayable in isolation.
+// Exit status: 0 when every oracle held, 1 on violations, 2 on usage error.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "verify/fuzzer.hpp"
+#include "verify/minimize.hpp"
+
+namespace {
+
+using namespace sanmap;
+
+std::vector<std::string> case_files(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".sancase") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+int replay_one(const std::string& path, const verify::OracleOptions& oracle) {
+  const verify::ScenarioCase c = verify::read_case_file(path);
+  const verify::OracleReport report = verify::replay_case(c, oracle);
+  std::cout << path << " [" << c.name << "]: "
+            << (report.ok() ? "OK" : "VIOLATED") << '\n';
+  if (!report.ok()) {
+    std::cout << report.summary();
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_replay_dir(const std::string& dir,
+                   const verify::OracleOptions& oracle) {
+  const auto paths = case_files(dir);
+  if (paths.empty()) {
+    std::cerr << "no .sancase files under " << dir << '\n';
+    return 2;
+  }
+  int violated = 0;
+  for (const std::string& path : paths) {
+    violated += replay_one(path, oracle);
+  }
+  std::cout << paths.size() << " cases, " << violated << " violated\n";
+  return violated == 0 ? 0 : 1;
+}
+
+int cmd_write_corpus(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  for (const verify::ScenarioCase& c : verify::builtin_corpus()) {
+    const std::string path = dir + "/" + c.name + ".sancase";
+    verify::write_case_file(path, c);
+    std::cout << "wrote " << path << '\n';
+  }
+  return 0;
+}
+
+int cmd_shrink(const std::string& path, const verify::OracleOptions& oracle,
+               int max_checks) {
+  const verify::ScenarioCase c = verify::read_case_file(path);
+  verify::MinimizeOptions options;
+  options.oracle = oracle;
+  options.max_checks = max_checks;
+  const auto result = verify::minimize(c, options);
+  if (!result) {
+    std::cout << path << ": no oracle violation to preserve — nothing to do\n";
+    return 0;
+  }
+  const std::string out =
+      std::filesystem::path(path).replace_extension(".min.sancase").string();
+  verify::write_case_file(out, result->best);
+  std::cout << path << ": " << c.network.num_nodes() << " -> "
+            << result->best.network.num_nodes() << " nodes ("
+            << result->target_oracle << " preserved, " << result->checks
+            << " checks" << (result->budget_exhausted ? ", budget hit" : "")
+            << ")\n  wrote " << out << '\n';
+  return 1;  // the input violates by construction
+}
+
+int cmd_fuzz(const common::Flags& flags,
+             const verify::OracleOptions& oracle) {
+  verify::FuzzOptions options;
+  options.trials = static_cast<int>(flags.get_int("trials"));
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.max_mutations = static_cast<int>(flags.get_int("max-mutations"));
+  options.oracle = oracle;
+  options.minimize_failures = flags.get_bool("shrink");
+  options.minimize_max_checks = static_cast<int>(flags.get_int("max-checks"));
+  options.artifacts_dir = flags.get("artifacts");
+  options.progress = [](const std::string& line) {
+    std::cout << line << '\n';
+  };
+  const std::string corpus_dir = flags.get("corpus");
+  if (!corpus_dir.empty()) {
+    for (const std::string& path : case_files(corpus_dir)) {
+      options.corpus.push_back(verify::read_case_file(path));
+    }
+    if (options.corpus.empty()) {
+      std::cerr << "no .sancase files under " << corpus_dir << '\n';
+      return 2;
+    }
+  }
+
+  const verify::FuzzReport report = verify::fuzz(options);
+  std::cout << report.trials << " trials with seed " << options.seed << ": "
+            << report.failures.size() << " violating case(s)\n";
+  for (const auto& [oracle_name, count] : report.skip_counts) {
+    std::cout << "  skipped " << oracle_name << " x" << count << '\n';
+  }
+  for (const verify::FuzzFailure& failure : report.failures) {
+    std::cout << "FAILURE trial " << failure.trial << ": replay with --seed "
+              << failure.seed << " (case-seed " << failure.case_seed << ")";
+    if (!failure.artifact_path.empty()) {
+      std::cout << ", repro " << failure.artifact_path;
+    }
+    std::cout << '\n';
+    for (const verify::Violation& v : failure.report.violations) {
+      std::cout << "  " << v.oracle << ": " << v.detail << '\n';
+    }
+  }
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags;
+  flags.define("trials", "200", "fuzz trials to run");
+  flags.define("seed", "1", "base seed (every trial derives its own)");
+  flags.define("max-mutations", "4", "mutations per trial, drawn from [1, M]");
+  flags.define("corpus", "", "directory of .sancase seed cases "
+                             "(default: built-in corpus)");
+  flags.define("artifacts", "sanfuzz-artifacts",
+               "directory for violation repro files (empty disables)");
+  flags.define("shrink", "true", "minimize violating cases before reporting");
+  flags.define("max-checks", "400", "oracle-run budget per minimization");
+  flags.define("sabotage", "false",
+               "break the mapper on purpose (skip replicate merges) to "
+               "verify the fuzzer catches it");
+  flags.define("replay", "", "replay one .sancase file and exit");
+  flags.define("replay-dir", "", "replay every .sancase in a directory");
+  flags.define("shrink-case", "", "minimize one violating .sancase file");
+  flags.define("write-corpus", "",
+               "write the built-in seed corpus into a directory and exit");
+  try {
+    if (!flags.parse(argc, argv)) {
+      return 0;
+    }
+    verify::OracleOptions oracle;
+    oracle.sabotage_skip_merges = flags.get_bool("sabotage");
+    oracle.route_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+    if (!flags.get("write-corpus").empty()) {
+      return cmd_write_corpus(flags.get("write-corpus"));
+    }
+    if (!flags.get("replay").empty()) {
+      return replay_one(flags.get("replay"), oracle);
+    }
+    if (!flags.get("replay-dir").empty()) {
+      return cmd_replay_dir(flags.get("replay-dir"), oracle);
+    }
+    if (!flags.get("shrink-case").empty()) {
+      return cmd_shrink(flags.get("shrink-case"), oracle,
+                        static_cast<int>(flags.get_int("max-checks")));
+    }
+    return cmd_fuzz(flags, oracle);
+  } catch (const std::exception& e) {
+    std::cerr << "sanfuzz: " << e.what() << '\n';
+    return 2;
+  }
+}
