@@ -1,0 +1,215 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace sanmap::analysis {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Severity severity) {
+  return os << to_string(severity);
+}
+
+const std::vector<CodeInfo>& code_registry() {
+  // Append-only. Codes group by hundreds: SL1xx UP*/DOWN* route legality,
+  // SL2xx deadlock freedom, SL3xx model-graph well-formedness, SL4xx route
+  // quality. SL0xx are analyzer-level notes.
+  static const std::vector<CodeInfo> registry = {
+      {"SL001", Severity::kInfo, "route analysis skipped"},
+      {"SL002", Severity::kInfo, "diagnostics suppressed past per-code cap"},
+      {"SL101", Severity::kError, "route takes a down-to-up turn"},
+      {"SL102", Severity::kError, "route endpoint is not a live host"},
+      {"SL103", Severity::kError, "route path is broken"},
+      {"SL104", Severity::kError, "route traverses a self-loop cable"},
+      {"SL105", Severity::kError, "route turn word disagrees with its path"},
+      {"SL106", Severity::kError, "routing root is not a live switch"},
+      {"SL201", Severity::kError, "channel-dependency cycle"},
+      {"SL202", Severity::kError, "deadlock certificate failed its recheck"},
+      {"SL301", Severity::kError, "dangling wire endpoint"},
+      {"SL302", Severity::kError, "port index out of range"},
+      {"SL303", Severity::kError, "asymmetric wire endpoints"},
+      {"SL304", Severity::kError, "host with more than one wire"},
+      {"SL305", Severity::kError, "port carries more than one wire"},
+      {"SL306", Severity::kError, "host label-equivalence violation"},
+      {"SL307", Severity::kWarning, "isolated node"},
+      {"SL308", Severity::kInfo, "fabric is not connected"},
+      {"SL401", Severity::kInfo, "non-minimal routes"},
+      {"SL402", Severity::kError, "missing route for a live host pair"},
+      {"SL403", Severity::kWarning, "per-link load imbalance"},
+      {"SL404", Severity::kWarning, "route exceeds the hop limit"},
+  };
+  return registry;
+}
+
+const CodeInfo* find_code(std::string_view code) {
+  for (const CodeInfo& info : code_registry()) {
+    if (code == info.code) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+void DiagnosticReport::add(std::string_view code, std::string location,
+                           std::string message, std::string hint) {
+  const CodeInfo* info = find_code(code);
+  SANMAP_CHECK_MSG(info != nullptr, "unregistered diagnostic code " << code);
+  add_with_severity(code, info->default_severity, std::move(location),
+                    std::move(message), std::move(hint));
+}
+
+void DiagnosticReport::add_with_severity(std::string_view code,
+                                         Severity severity,
+                                         std::string location,
+                                         std::string message,
+                                         std::string hint) {
+  SANMAP_CHECK_MSG(find_code(code) != nullptr,
+                   "unregistered diagnostic code " << code);
+  switch (severity) {
+    case Severity::kInfo:
+      ++infos_;
+      break;
+    case Severity::kWarning:
+      ++warnings_;
+      break;
+    case Severity::kError:
+      ++errors_;
+      break;
+  }
+  max_severity_ = std::max(max_severity_, severity);
+
+  auto it = std::find_if(
+      counts_.begin(), counts_.end(),
+      [&](const auto& entry) { return entry.first == code; });
+  if (it == counts_.end()) {
+    counts_.emplace_back(std::string(code), 0);
+    it = counts_.end() - 1;
+  }
+  const std::size_t seen = ++it->second;
+  if (seen == cap_ + 1) {
+    diagnostics_.push_back(Diagnostic{
+        "SL002", Severity::kInfo, std::string(code),
+        "further " + std::string(code) +
+            " findings suppressed (count() still tracks them all)",
+        ""});
+  }
+  if (seen > cap_) {
+    return;
+  }
+  diagnostics_.push_back(Diagnostic{std::string(code), severity,
+                                    std::move(location), std::move(message),
+                                    std::move(hint)});
+}
+
+std::size_t DiagnosticReport::count(std::string_view code) const {
+  for (const auto& [key, n] : counts_) {
+    if (key == code) {
+      return n;
+    }
+  }
+  return 0;
+}
+
+void DiagnosticReport::merge(const DiagnosticReport& other) {
+  for (const Diagnostic& d : other.diagnostics_) {
+    if (d.code == "SL002") {
+      continue;  // suppression markers are re-derived by the cap below
+    }
+    add_with_severity(d.code, d.severity, d.location, d.message, d.hint);
+  }
+}
+
+int DiagnosticReport::exit_code() const {
+  if (errors_ > 0) {
+    return 2;
+  }
+  return warnings_ > 0 ? 1 : 0;
+}
+
+std::string DiagnosticReport::text() const {
+  std::ostringstream oss;
+  for (const Diagnostic& d : diagnostics_) {
+    oss << d.code << ' ' << d.severity;
+    if (!d.location.empty()) {
+      oss << " [" << d.location << ']';
+    }
+    oss << ": " << d.message;
+    if (!d.hint.empty()) {
+      oss << " (hint: " << d.hint << ')';
+    }
+    oss << '\n';
+  }
+  oss << total() << " diagnostic(s): " << errors_ << " error(s), "
+      << warnings_ << " warning(s), " << infos_ << " info\n";
+  return oss.str();
+}
+
+std::string DiagnosticReport::json() const {
+  std::ostringstream oss;
+  oss << "{\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    if (!first) {
+      oss << ',';
+    }
+    first = false;
+    oss << "{\"code\":\"" << json_escape(d.code) << "\",\"severity\":\""
+        << to_string(d.severity) << "\",\"location\":\""
+        << json_escape(d.location) << "\",\"message\":\""
+        << json_escape(d.message) << "\",\"hint\":\"" << json_escape(d.hint)
+        << "\"}";
+  }
+  oss << "],\"summary\":{\"errors\":" << errors_
+      << ",\"warnings\":" << warnings_ << ",\"infos\":" << infos_
+      << ",\"exit_code\":" << exit_code() << "}}";
+  return oss.str();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << static_cast<int>(c);
+          std::string digits = esc.str().substr(2);
+          out += "\\u";
+          out.append(4 - digits.size(), '0');
+          out += digits;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace sanmap::analysis

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "analysis/analyzer.hpp"
 #include "common/log.hpp"
 
 namespace sanmap::service {
@@ -21,13 +22,39 @@ MapCatalog::PublishResult MapCatalog::publish_if_current(
 
 MapCatalog::PublishResult MapCatalog::publish_impl(
     MapSnapshot snapshot, bool check_stale, std::uint64_t based_on_epoch) {
-  // The safety gate needs no lock: the verdict travels inside the snapshot.
+  // The safety gate needs no lock. The cheap check first: the build-time
+  // verdict travels inside the snapshot, and a snapshot that already knows
+  // it is unsafe is refused without re-deriving anything.
   if (!snapshot.deadlock_free || !snapshot.compliant) {
     rejected_unsafe_.fetch_add(1, std::memory_order_relaxed);
     SANMAP_LOG(kWarning, "map-catalog",
                "refusing snapshot from " << snapshot.options.source
                                          << ": not verified deadlock-free");
-    return PublishResult{PublishStatus::kRejectedUnsafe, epoch()};
+    return PublishResult{PublishStatus::kRejectedUnsafe, epoch(), {}};
+  }
+
+  // Then the full static pass: legality + deadlock certificates and the
+  // structural lints. This catches snapshots whose flags were set by a
+  // buggy (or bypassed) builder — the catalog re-derives the verdict from
+  // the map and routes themselves and refuses on any ERROR diagnostic.
+  analysis::AnalysisResult verdict =
+      analysis::analyze(snapshot.map, snapshot.routes);
+  if (!verdict.clean()) {
+    rejected_unsafe_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<analysis::Diagnostic> errors;
+    for (const analysis::Diagnostic& d : verdict.report.diagnostics()) {
+      if (d.severity == analysis::Severity::kError) {
+        errors.push_back(d);
+      }
+    }
+    SANMAP_LOG(kWarning, "map-catalog",
+               "refusing snapshot from "
+                   << snapshot.options.source << ": static analysis found "
+                   << errors.size() << " error(s), first: "
+                   << (errors.empty() ? "?" : errors.front().code));
+    PublishResult result{PublishStatus::kRejectedUnsafe, epoch(), {}};
+    result.gate_errors = std::move(errors);
+    return result;
   }
 
   std::lock_guard<std::mutex> lock(writer_mutex_);
@@ -35,7 +62,7 @@ MapCatalog::PublishResult MapCatalog::publish_impl(
   const std::uint64_t current_epoch = old ? old->epoch : 0;
   if (check_stale && current_epoch != based_on_epoch) {
     rejected_stale_.fetch_add(1, std::memory_order_relaxed);
-    return PublishResult{PublishStatus::kRejectedStale, current_epoch};
+    return PublishResult{PublishStatus::kRejectedStale, current_epoch, {}};
   }
 
   snapshot.epoch = next_epoch_++;
@@ -47,7 +74,7 @@ MapCatalog::PublishResult MapCatalog::publish_impl(
   }
   current_.store(published, std::memory_order_release);
   published_.fetch_add(1, std::memory_order_relaxed);
-  return PublishResult{PublishStatus::kPublished, published->epoch};
+  return PublishResult{PublishStatus::kPublished, published->epoch, {}};
 }
 
 SnapshotPtr MapCatalog::at_epoch(std::uint64_t epoch) const {

@@ -8,9 +8,14 @@
 // even after epoch N+1 lands; grace periods are implicit in shared_ptr.
 //
 // Publishing is gated twice:
-//  * safety — a snapshot whose deadlock analysis found a channel-dependency
-//    cycle (or a rule violation) is refused outright; an unsafe route table
-//    must never become current (Dally & Seitz; the paper's §5.5 guarantee);
+//  * safety — every candidate snapshot is re-analyzed by the full static
+//    analyzer (src/analysis): UP*/DOWN* legality per route, explicit
+//    channel-dependency deadlock certificate, model well-formedness and
+//    route-table structure lints. Any ERROR-level diagnostic (or a build
+//    verdict that already said unsafe) refuses the publish outright; an
+//    unsafe route table must never become current (Dally & Seitz; the
+//    paper's §5.5 guarantee). The refusing diagnostics travel back in the
+//    PublishResult;
 //  * staleness — publish_if_current(snapshot, based_on_epoch) refuses when
 //    the catalog moved past `based_on_epoch`, so a slow remap that raced a
 //    faster one cannot clobber fresher routes with older ones.
@@ -26,6 +31,7 @@
 #include <mutex>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "service/snapshot.hpp"
 
 namespace sanmap::service {
@@ -38,7 +44,8 @@ class MapCatalog {
 
   enum class PublishStatus : std::uint8_t {
     kPublished,
-    /// Refused: the snapshot's deadlock analysis did not pass.
+    /// Refused: the static analyzer found an ERROR-level diagnostic (or
+    /// the snapshot's own build verdict said unsafe).
     kRejectedUnsafe,
     /// Refused: the catalog advanced past the epoch the snapshot was
     /// computed against (a concurrent publisher won the race).
@@ -50,6 +57,9 @@ class MapCatalog {
     /// The snapshot's new epoch when published; the catalog's current
     /// epoch at decision time when rejected.
     std::uint64_t epoch = 0;
+    /// kRejectedUnsafe only: the ERROR-level diagnostics that refused the
+    /// snapshot (empty for the legacy unsafe-flag path).
+    std::vector<analysis::Diagnostic> gate_errors;
 
     [[nodiscard]] bool published() const {
       return status == PublishStatus::kPublished;

@@ -123,4 +123,85 @@ std::string to_dot(const Topology& topo) {
   return oss.str();
 }
 
+Topology read_dot(std::istream& is) {
+  Topology topo;
+  std::map<std::string, NodeId> by_dot_id;
+  std::string line;
+  int line_number = 0;
+  const auto fail = [&](const std::string& message) {
+    throw std::runtime_error("dot parse error at line " +
+                             std::to_string(line_number) + ": " + message);
+  };
+  const auto trim = [](std::string s) {
+    const auto first = s.find_first_not_of(" \t;");
+    const auto last = s.find_last_not_of(" \t;");
+    return first == std::string::npos ? std::string()
+                                      : s.substr(first, last - first + 1);
+  };
+  // One endpoint: "n12" (host, port 0) or "n12:p4" (switch port 4).
+  const auto parse_end = [&](const std::string& text) {
+    const auto colon = text.find(':');
+    const std::string id = text.substr(0, colon);
+    const auto node = by_dot_id.find(id);
+    if (node == by_dot_id.end()) {
+      fail("edge references undeclared node " + id);
+    }
+    Port port = 0;
+    if (colon != std::string::npos) {
+      const std::string ref = text.substr(colon + 1);
+      if (ref.size() < 2 || ref[0] != 'p') {
+        fail("malformed port reference " + ref);
+      }
+      port = static_cast<Port>(std::stol(ref.substr(1)));
+    }
+    return PortRef{node->second, port};
+  };
+
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::string body = trim(line);
+    if (body.empty() || body == "}" || body.rfind("graph", 0) == 0 ||
+        body.rfind("rankdir", 0) == 0) {
+      continue;
+    }
+    if (const auto dash = body.find(" -- "); dash != std::string::npos) {
+      const PortRef a = parse_end(trim(body.substr(0, dash)));
+      const PortRef b = parse_end(trim(body.substr(dash + 4)));
+      try {
+        topo.connect(a.node, a.port, b.node, b.port);
+      } catch (const common::CheckFailure& e) {
+        fail(e.what());
+      }
+      continue;
+    }
+    const auto bracket = body.find('[');
+    const auto label_at = body.find("label=\"");
+    if (bracket == std::string::npos || label_at == std::string::npos) {
+      fail("unrecognized statement: " + body);
+    }
+    const std::string dot_id = trim(body.substr(0, bracket));
+    const auto label_end = body.find('"', label_at + 7);
+    if (label_end == std::string::npos) {
+      fail("unterminated label");
+    }
+    std::string label = body.substr(label_at + 7, label_end - label_at - 7);
+    const bool is_box = body.find("shape=box") != std::string::npos;
+    if (!is_box) {
+      // Record labels are "name | <p0> 0 | ..."; the name is field one.
+      label = trim(label.substr(0, label.find('|')));
+    }
+    if (by_dot_id.contains(dot_id)) {
+      fail("duplicate node " + dot_id);
+    }
+    by_dot_id.emplace(dot_id,
+                      is_box ? topo.add_host(label) : topo.add_switch(label));
+  }
+  return topo;
+}
+
+Topology dot_from_text(const std::string& text) {
+  std::istringstream iss(text);
+  return read_dot(iss);
+}
+
 }  // namespace sanmap::topo

@@ -34,4 +34,12 @@ Topology from_text(const std::string& text);
 /// occupancy — the style of the paper's Figures 4 and 5.
 std::string to_dot(const Topology& topo);
 
+/// Parses the dot dialect to_dot emits (hosts as boxes, switches as port
+/// records, edges with :pN port references; a host end with no :pN is port
+/// 0). This round-trips the repository's paper-figure .dot exports back
+/// into a Topology — it is NOT a general Graphviz parser. Throws
+/// std::runtime_error with a line number on anything it cannot read.
+Topology read_dot(std::istream& is);
+Topology dot_from_text(const std::string& text);
+
 }  // namespace sanmap::topo

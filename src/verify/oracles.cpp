@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/analyzer.hpp"
 #include "mapper/berkeley_mapper.hpp"
 #include "mapper/robust_mapper.hpp"
 #include "myricom/myricom_mapper.hpp"
@@ -231,6 +232,55 @@ void run_quiescent_oracles(const ScenarioCase& c, const OracleOptions& options,
     report.skipped.push_back(
         options.deadlock ? "deadlock: no usable Berkeley map"
                          : "deadlock: disabled");
+  }
+
+  // The static pass: run sanlint's analyzer over the same map and routes
+  // and diff its deadlock verdict against both dynamic detectors. Any
+  // disagreement means one of three independent implementations is wrong.
+  if (options.analysis && have_berkeley &&
+      berkeley.map.num_switches() >= 1 && berkeley.map.num_hosts() >= 1) {
+    try {
+      const routing::RoutingResult routes =
+          routing::compute_updown_routes(berkeley.map, {}, options.route_seed);
+      const analysis::AnalysisResult verdict =
+          analysis::analyze(berkeley.map, routes);
+      for (const analysis::Diagnostic& d : verdict.report.diagnostics()) {
+        if (d.severity == analysis::Severity::kError) {
+          report.violations.push_back(
+              {"analysis-clean", d.code + " " + d.location + ": " + d.message});
+        }
+      }
+      const auto paths = routing::route_channel_paths(berkeley.map, routes);
+      const bool dfs_verdict =
+          routing::analyze_channel_paths(berkeley.map, paths).deadlock_free;
+      const bool kahn_verdict = channel_paths_acyclic(paths);
+      if (verdict.analyzed_routes &&
+          (verdict.deadlock.deadlock_free != dfs_verdict ||
+           verdict.deadlock.deadlock_free != kahn_verdict)) {
+        report.violations.push_back(
+            {"analysis-deadlock-diff",
+             std::string("static certificate says ") +
+                 (verdict.deadlock.deadlock_free ? "acyclic" : "cyclic") +
+                 " but DFS says " + (dfs_verdict ? "acyclic" : "cyclic") +
+                 " and Kahn says " + (kahn_verdict ? "acyclic" : "cyclic")});
+      }
+      if (verdict.analyzed_routes) {
+        std::vector<std::string> why;
+        if (!analysis::check_legality(berkeley.map, routes, verdict.legality,
+                                      &why) ||
+            !analysis::check_deadlock(paths, verdict.deadlock, &why)) {
+          report.violations.push_back(
+              {"analysis-certificate",
+               why.empty() ? "certificate re-check failed" : why.front()});
+        }
+      }
+    } catch (const std::exception& e) {
+      report.violations.push_back({"analysis-crash", e.what()});
+    }
+  } else {
+    report.skipped.push_back(
+        options.analysis ? "analysis-clean: no usable Berkeley map"
+                         : "analysis-clean: disabled");
   }
 }
 

@@ -18,6 +18,14 @@
 //                     3-coloring), AND an independent Kahn's-algorithm
 //                     detector over the same routing::route_channel_paths
 //                     input reaches the same acyclicity verdict.
+//  * analysis-clean — the static analyzer (src/analysis) over the Berkeley
+//                     map and its routes reports no ERROR diagnostic, its
+//                     deadlock-certificate verdict agrees with BOTH dynamic
+//                     detectors (DFS 3-coloring and Kahn elimination), and
+//                     both certificates survive their independent
+//                     re-checkers. Three ways to fail, three keys:
+//                     analysis-clean, analysis-deadlock-diff,
+//                     analysis-certificate.
 //  * conservation   — the ConservationChecker hook, attached to the network
 //                     for the whole mapping session, observed no accounting
 //                     violation.
@@ -47,8 +55,9 @@ namespace sanmap::verify {
 struct Violation {
   /// Stable oracle key: "berkeley-iso", "berkeley-crash", "myricom-diff",
   /// "myricom-crash", "deadlock-updown", "deadlock-cycle",
-  /// "deadlock-differential", "routing-crash", "conservation",
-  /// "robust-iso", "robust-crash".
+  /// "deadlock-differential", "routing-crash", "analysis-clean",
+  /// "analysis-deadlock-diff", "analysis-certificate", "analysis-crash",
+  /// "conservation", "robust-iso", "robust-crash".
   std::string oracle;
   std::string detail;
 };
@@ -69,6 +78,7 @@ struct OracleOptions {
   bool berkeley = true;
   bool myricom = true;
   bool deadlock = true;
+  bool analysis = true;
   bool conservation = true;
   bool robust = true;
 

@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "topology/generators.hpp"
+#include "topology/isomorphism.hpp"
 #include "topology/serialize.hpp"
 
 namespace sanmap::topo {
@@ -102,6 +103,29 @@ TEST(Dot, HostsHaveNoPortAnchors) {
   const std::string dot = to_dot(t);
   // The host endpoint is plain nN, not nN:pK.
   EXPECT_EQ(dot.find("n0:p"), std::string::npos);
+}
+
+TEST(Dot, ReadDotRoundTripsOurOwnDialect) {
+  // sanmap lint accepts the repository's paper-figure .dot exports; the
+  // reader must reconstruct the exact structure to_dot rendered.
+  const Topology t = now_cluster();
+  const Topology u = dot_from_text(to_dot(t));
+  EXPECT_EQ(u.num_hosts(), t.num_hosts());
+  EXPECT_EQ(u.num_switches(), t.num_switches());
+  EXPECT_EQ(u.num_wires(), t.num_wires());
+  // to_dot renders hosts before switches, so node ids are renumbered:
+  // the round trip preserves the graph, not the id assignment.
+  EXPECT_TRUE(isomorphic(t, u));
+}
+
+TEST(Dot, ReadDotRejectsForeignStatementsWithALineNumber) {
+  try {
+    dot_from_text("graph g {\n  n0 -> n1;\n}\n");  // digraph edge syntax
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

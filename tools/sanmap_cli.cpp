@@ -8,6 +8,9 @@
 //                             myricom|identity|randomized]
 //                 [--collision cut-through|circuit] [--out FILE]
 //   sanmap routes --in FILE [--root NAME] [--sample N]
+//   sanmap lint   --in FILE [--root NAME] [--seed N] [--json]
+//                 [--map-only] [--hop-limit N] [--imbalance-threshold X]
+//                 [--sabotage-turn]
 //   sanmap dot    --in FILE [--out FILE]
 //   sanmap serve  --in FILE [--master HOST] [--ticks N] [--interval-ms M]
 //                 [--faults SPEC] [--snapshot-out FILE]
@@ -20,6 +23,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/analyzer.hpp"
 #include "common/flags.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -43,6 +47,7 @@
 #include "topology/generators.hpp"
 #include "topology/isomorphism.hpp"
 #include "topology/serialize.hpp"
+#include "verify/scenario_case.hpp"
 
 namespace {
 
@@ -523,6 +528,142 @@ int cmd_query(int argc, const char* const* argv) {
   return 0;
 }
 
+// sanmap lint: the static analyzer's CLI face. Reads a topology v1 file,
+// a to_dot export, or a .sancase scenario (auto-detected), runs sanlint,
+// and exits with the report's max severity (0 clean/info, 1 warnings,
+// 2 errors).
+int cmd_lint(int argc, const char* const* argv) {
+  common::Flags flags;
+  flags.define("in", "-",
+               "input: topology v1, sanmap dot export, or .sancase");
+  flags.define("root", "", "UP*/DOWN* root switch name");
+  flags.define("seed", "1", "route load-balance seed");
+  flags.define("json", "false", "emit the full report as JSON");
+  flags.define("map-only", "false", "fabric lints only, skip the route phase");
+  flags.define("hop-limit", "0", "warn on routes longer than this (0 = off)");
+  flags.define("imbalance-threshold", "6.0",
+               "warn when max channel load exceeds mean x this");
+  flags.define("sabotage-turn", "false",
+               "inject an illegal down-to-up turn into one route first "
+               "(self-check: lint must then fail with SL101)");
+  if (!flags.parse(argc, argv)) {
+    return 0;
+  }
+
+  // Read the whole input once; dispatch on content, not extension, so
+  // piped stdin works the same as files.
+  std::string text;
+  {
+    const std::string path = flags.get("in");
+    std::ostringstream buffer;
+    if (path == "-") {
+      buffer << std::cin.rdbuf();
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        throw std::runtime_error("cannot open " + path);
+      }
+      buffer << in.rdbuf();
+    }
+    text = buffer.str();
+  }
+
+  topo::Topology fabric;
+  if (text.rfind("# sanmap case v1", 0) == 0) {
+    fabric = verify::case_from_text(text).network;
+  } else if (text.find_first_not_of(" \t\r\n") != std::string::npos &&
+             text.compare(text.find_first_not_of(" \t\r\n"), 5, "graph") ==
+                 0) {
+    fabric = topo::dot_from_text(text);
+  } else {
+    fabric = topo::from_text(text);
+  }
+
+  analysis::AnalyzerOptions options;
+  options.lints.hop_limit = static_cast<int>(flags.get_int("hop-limit"));
+  options.lints.load_imbalance_threshold =
+      flags.get_double("imbalance-threshold");
+
+  analysis::AnalysisResult result;
+  const bool routable = !flags.get_bool("map-only") &&
+                        fabric.num_switches() >= 1 && fabric.num_hosts() >= 1;
+  if (routable) {
+    // Route over the component a mapper would discover: lints about the
+    // rest of the fabric still come from the full-map fabric pass below.
+    topo::Topology local = fabric;
+    std::vector<int> component;
+    topo::components(local, component);
+    const topo::NodeId anchor = local.hosts().front();
+    for (const topo::NodeId n : local.nodes()) {
+      if (component[n] != component[anchor]) {
+        local.remove_node(n);
+      }
+    }
+    local = local.compacted();
+    routing::UpDownOptions route_options;
+    if (const std::string root = flags.get("root"); !root.empty()) {
+      for (const topo::NodeId s : local.switches()) {
+        if (local.name(s) == root) {
+          route_options.root = s;
+        }
+      }
+      if (!route_options.root) {
+        throw std::runtime_error("no switch named " + root +
+                                 " in the mapper's component");
+      }
+    }
+    if (local.num_switches() >= 1) {
+      routing::RoutingResult routes = routing::compute_updown_routes(
+          local, route_options,
+          static_cast<std::uint64_t>(flags.get_int("seed")));
+      if (flags.get_bool("sabotage-turn")) {
+        const std::string injected =
+            analysis::inject_down_up_turn(local, routes);
+        if (injected.empty()) {
+          throw std::runtime_error(
+              "--sabotage-turn: topology offers no injectable detour");
+        }
+        std::cerr << "sabotage  : " << injected << "\n";
+      }
+      result = analysis::analyze(local, routes, options);
+    } else {
+      result = analysis::analyze_map(local, options);
+    }
+    // Fabric lints over the FULL map too (dangling wires or port clashes
+    // outside the mapped component still deserve diagnostics), deduped by
+    // the report's own per-code cap.
+    if (local.num_nodes() != fabric.num_nodes()) {
+      analysis::AnalysisResult whole = analysis::analyze_map(fabric, options);
+      result.report.merge(whole.report);
+    }
+  } else {
+    result = analysis::analyze_map(fabric, options);
+  }
+
+  if (flags.get_bool("json")) {
+    std::cout << analysis::to_json(result) << "\n";
+  } else {
+    std::cout << result.report.text();
+    if (result.analyzed_routes) {
+      std::cout << "legality : " << result.legality.routes.size()
+                << " routes from root " << result.legality.root_name << ", "
+                << (result.legality.all_legal ? "all legal"
+                                              : "ILLEGAL TURNS FOUND")
+                << "\n";
+      std::cout << "deadlock : "
+                << (result.deadlock.deadlock_free ? "acyclic" : "CYCLE")
+                << " (" << result.deadlock.channels << " channels, "
+                << result.deadlock.dependencies << " dependencies)\n";
+    }
+    std::cout << "verdict  : "
+              << (result.report.exit_code() == 0
+                      ? "clean"
+                      : result.report.exit_code() == 1 ? "warnings" : "ERRORS")
+              << "\n";
+  }
+  return result.report.exit_code();
+}
+
 int cmd_dot(int argc, const char* const* argv) {
   common::Flags flags;
   flags.define("in", "-", "input topology file");
@@ -535,7 +676,8 @@ int cmd_dot(int argc, const char* const* argv) {
 }
 
 void usage() {
-  std::cerr << "usage: sanmap <gen|info|map|routes|serve|query|dot> [flags]\n"
+  std::cerr << "usage: sanmap <gen|info|map|routes|lint|serve|query|dot> "
+               "[flags]\n"
                "run a subcommand with --help for its flags\n";
 }
 
@@ -571,6 +713,9 @@ int main(int argc, char** argv) {
     }
     if (command == "routes") {
       return cmd_routes(sub_argc, sub_argv);
+    }
+    if (command == "lint") {
+      return cmd_lint(sub_argc, sub_argv);
     }
     if (command == "serve") {
       return cmd_serve(sub_argc, sub_argv);
