@@ -11,6 +11,7 @@ BerkeleyMapper::BerkeleyMapper(probe::ProbeEngine& engine,
                                MapperConfig config)
     : engine_(&engine), config_(config) {
   SANMAP_CHECK(config_.search_depth >= 1);
+  SANMAP_CHECK(config_.pipeline_window >= 1);
 }
 
 MapResult BerkeleyMapper::run() {

@@ -10,6 +10,11 @@
 //   config.search_depth = topo::search_depth(topology, mapper_host);
 //   auto result = mapper::BerkeleyMapper(engine, config).run();
 //   // result.map is isomorphic to core(topology) (up to port offsets)
+//
+// Setting config.pipeline_window >= 2 switches the exploration to the
+// batched-frontier mode (see mapper/explorer.hpp): turn probes overlap in
+// a bounded probe::ProbePipeline window, cutting elapsed() while keeping
+// probe counts and the map bit-identical to the serial run.
 #pragma once
 
 #include "mapper/map_result.hpp"

@@ -7,6 +7,13 @@
 
 namespace sanmap::mapper {
 
+probe::Response Explorer::issue_probe(const simnet::Route& prefix) {
+  if (pipeline_) {
+    return pipeline_->probe(prefix);
+  }
+  return engine_->probe(prefix);
+}
+
 void Explorer::run(MapResult& result) {
   while (head_ < frontier_.size()) {
     if (config_->max_explorations != 0 &&
@@ -71,7 +78,7 @@ void Explorer::explore_vertex(VertexId v, MapResult& result) {
     }
 
     const probe::Response response =
-        engine_->probe(simnet::extended(prefix, turn));
+        issue_probe(simnet::extended(prefix, turn));
     switch (response.kind) {
       case probe::ResponseKind::kSwitch: {
         const VertexId child =
@@ -96,6 +103,12 @@ void Explorer::explore_vertex(VertexId v, MapResult& result) {
     if (!config_->sabotage_skip_merges) {
       result.merges += static_cast<std::size_t>(model_->stabilize());
     }
+  }
+  if (pipeline_) {
+    // The next frontier pop (and the mapper's final clock read) may depend
+    // on this vertex's responses: complete the batch and substitute its
+    // makespan for the serial sum.
+    pipeline_->drain();
   }
 }
 

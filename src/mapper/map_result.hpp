@@ -36,6 +36,15 @@ struct MapperConfig {
   /// oracles report — the guard converts a hang into a diagnosable failure.
   std::size_t max_explorations = 0;
 
+  /// Pipelined probing (probe::ProbePipeline): how many logical probes the
+  /// exploration keeps in flight. 1 (the default) is the paper's serial
+  /// engine, probe for probe and nanosecond for nanosecond; >= 2 issues a
+  /// vertex's turn probes speculatively into a bounded window, so a batch
+  /// costs the max-style makespan of its members instead of their sum.
+  /// Probe counts, responses and the constructed map are bit-identical at
+  /// every window — only elapsed() changes.
+  int pipeline_window = 1;
+
   /// Fault injection for the verification subsystem (src/verify), never for
   /// production use: disable the §3.3 replicate-merge cascade entirely, so
   /// any topology in which a switch is reachable over two distinct paths

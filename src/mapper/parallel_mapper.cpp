@@ -23,15 +23,20 @@ ParallelMapResult ParallelMapper::run() {
   std::vector<topo::Topology> partials;
   partials.reserve(config_.mappers.size());
 
-  // The local mappers run concurrently on their own hosts; on the shared
-  // (quiescent) fabric their probes do not interact in our collision
-  // models, so we can execute them sequentially and take the max time.
+  // Two levels of concurrency. Across mappers: the local mappers run
+  // simultaneously on their own hosts and, on the shared (quiescent)
+  // fabric, their probes do not interact in our collision models — so we
+  // execute them sequentially and take the max of their times. Within each
+  // mapper: with pipeline_window >= 2 the local exploration itself keeps a
+  // bounded window of probes in flight (probe::ProbePipeline), so each
+  // local time is a genuinely overlapped-window time, not a serial sum.
   for (const topo::NodeId mapper_host : config_.mappers) {
     probe::ProbeEngine engine(*net_, mapper_host);
     MapperConfig config;
     config.search_depth = config_.local_depth;
     config.port_order_heuristic = config_.port_order_heuristic;
     config.skip_known_ports = config_.skip_known_ports;
+    config.pipeline_window = config_.pipeline_window;
     const MapResult local = BerkeleyMapper(engine, config).run();
     result.locals.push_back(ParallelMapResult::Local{
         mapper_host, local.elapsed, local.probes.total(),

@@ -30,6 +30,11 @@ struct ParallelConfig {
   /// Heuristics for the local mappers.
   bool port_order_heuristic = true;
   bool skip_known_ports = true;
+  /// Outstanding-probe window of each local mapper (see
+  /// MapperConfig::pipeline_window). >= 2 makes every local mapper overlap
+  /// its own probe timeouts, on top of the across-mapper concurrency this
+  /// class already models by max-taking.
+  int pipeline_window = 1;
   /// Charged per model vertex for shipping and fusing the partial maps.
   common::SimTime merge_cost_per_vertex = common::SimTime::from_us(20.0);
 };

@@ -36,6 +36,24 @@ ProbeEngine::ProbeEngine(simnet::Network& net, topo::NodeId mapper_host,
                   mapper_host) != options_.participants.end(),
         "the mapper host itself must participate");
   }
+  unyielded_.assign(net_->topology().node_capacity(), false);
+  if (options_.election) {
+    // Every participant other than the winner (this engine's mapper) starts
+    // as an active contender that must be suppressed. Contenders are
+    // physical daemons: once one yields it stays yielded for the lifetime
+    // of this engine (a session), across reset()s — a multi-pass session
+    // (RobustMapper re-running BerkeleyMapper, whose run() resets the
+    // engine) must not re-pay per-contender arbitration every pass.
+    for (const topo::NodeId h : net_->topology().hosts()) {
+      if (h != mapper_host_ && participates(h)) {
+        unyielded_[h] = true;
+      }
+    }
+    // The winner itself does not begin probing at time zero; the offset is
+    // drawn once per session and charged until probing actually starts.
+    election_start_offset_ = common::SimTime::from_us(
+        election_rng_.exponential(options_.election_start_mean.to_us()));
+  }
   reset();
 }
 
@@ -43,20 +61,12 @@ void ProbeEngine::reset() {
   counters_ = ProbeCounters{};
   transcript_.clear();
   elapsed_ = common::SimTime{};
-  election_rng_.reseed(options_.election_seed);
   jitter_rng_.reseed(options_.jitter_seed);
-  unyielded_.assign(net_->topology().node_capacity(), false);
-  if (options_.election) {
-    // Every participant other than the winner (this engine's mapper) starts
-    // as an active contender that must be suppressed.
-    for (const topo::NodeId h : net_->topology().hosts()) {
-      if (h != mapper_host_ && participates(h)) {
-        unyielded_[h] = true;
-      }
-    }
-    // The winner itself does not begin probing at time zero.
-    elapsed_ += common::SimTime::from_us(
-        election_rng_.exponential(options_.election_start_mean.to_us()));
+  if (options_.election && !session_started_) {
+    // No probe has been sent yet, so the winner's delayed start is still
+    // ahead of us. Once probing has begun, later resets (multi-pass
+    // sessions) do not re-charge it: the winner is already running.
+    elapsed_ += election_start_offset_;
   }
 }
 
@@ -87,6 +97,7 @@ std::optional<simnet::DeliveryResult> ProbeEngine::send_with_retries(
   const auto& cost = net_->cost();
   for (int attempt = 0; attempt <= options_.retries; ++attempt) {
     ++sent;
+    session_started_ = true;
     const auto result =
         net_->send(mapper_host_, route, nullptr, clock_base_ + elapsed_);
     if (accepted(result)) {
@@ -170,9 +181,23 @@ std::optional<ProbeEngine::WildResponse> ProbeEngine::wild_probe(
         return r.status == simnet::DeliveryStatus::kDelivered ||
                r.status == simnet::DeliveryStatus::kHitHostTooSoon;
       });
-  if (!result || !participates(result->destination)) {
+  if (!result) {
+    // Every rejected attempt was already charged send_overhead +
+    // probe_timeout by the retry loop; there is no further cost to add.
     if (options_.record_transcript) {
       transcript_.push_back(TranscriptEntry{route, 'w', false, {}});
+    }
+    return std::nullopt;
+  }
+  if (!participates(result->destination)) {
+    // The worm reached a host with no daemon: the attempt was accepted by
+    // the retry loop (and therefore not charged), the message is consumed
+    // unanswered, and the mapper waits out one full timeout. The transcript
+    // records the network-level outcome — the route does reach that host —
+    // so a replay against an all-answering quiescent network agrees.
+    if (options_.record_transcript) {
+      transcript_.push_back(TranscriptEntry{
+          route, 'w', true, net_->topology().name(result->destination)});
     }
     charge_probe(cost.send_overhead + cost.probe_timeout);
     return std::nullopt;
@@ -205,9 +230,12 @@ std::optional<std::string> ProbeEngine::host_probe(
   const topo::NodeId host = result->destination;
   if (!participates(host)) {
     // No mapper daemon is running there; the message is consumed and never
-    // answered.
+    // answered. As with wild probes, the transcript records that the route
+    // reaches this host (the network-level outcome a replay must
+    // reproduce), not the session-level silence.
     if (options_.record_transcript) {
-      transcript_.push_back(TranscriptEntry{prefix, 'h', false, {}});
+      transcript_.push_back(
+          TranscriptEntry{prefix, 'h', true, net_->topology().name(host)});
     }
     charge_probe(cost.send_overhead + cost.probe_timeout);
     return std::nullopt;

@@ -114,7 +114,14 @@ struct ProbeOptions {
 /// 'e' (echo/comparison), 'i' (identifying), or 'w' (wild). One entry is
 /// recorded per *logical* probe with its final outcome — retried attempts
 /// are not recorded individually (a transcript is a statement about the
-/// network, not about the retry schedule).
+/// network, not about the retry schedule). For the same reason `answered`
+/// records the *network-level* outcome: whether the route finds a
+/// responder on a quiescent network with every host answering (hardware
+/// loopback for s/e/i, a live host for h/w). A probe consumed by a
+/// non-participating host therefore records answered=true with the host's
+/// name even though the session saw silence — participation is session
+/// state, not network state, and transcript_replays is documented to
+/// replay with all hosts answering.
 struct TranscriptEntry {
   simnet::Route route;
   char category = '?';
@@ -131,6 +138,9 @@ struct ProbeCounters {
   /// switch-probes.
   std::uint64_t wild_probes = 0;
   std::uint64_t wild_hits = 0;
+
+  friend bool operator==(const ProbeCounters&, const ProbeCounters&) =
+      default;
 
   [[nodiscard]] std::uint64_t total() const {
     return host_probes + switch_probes + wild_probes;
@@ -195,11 +205,19 @@ class ProbeEngine {
 
   [[nodiscard]] topo::NodeId mapper_host() const { return mapper_host_; }
   [[nodiscard]] const ProbeCounters& counters() const { return counters_; }
+  /// The configured probe order (ProbePipeline replicates the same
+  /// short-circuit logic when it chains the two probe legs).
+  [[nodiscard]] ProbeOrder order() const { return options_.order; }
   /// Mapper-side virtual time consumed so far (probe costs + election start
   /// offset). Does NOT include the clock base.
   [[nodiscard]] common::SimTime elapsed() const { return elapsed_; }
   /// Adds non-probe mapper work (e.g. computation phases) to the clock.
   void charge(common::SimTime extra) { elapsed_ += extra; }
+  /// Replaces the clock outright. Reserved for probe::ProbePipeline, which
+  /// executes a batch serially (so counters, responses, the transcript and
+  /// every RNG draw are bit-identical to the serial engine) and then
+  /// substitutes the batch's event-queue makespan for the serial sum.
+  void set_elapsed(common::SimTime t) { elapsed_ = t; }
 
   /// Epoch of this probing session on the network's virtual clock: probes
   /// are injected at clock_base() + elapsed(). reset() deliberately keeps
@@ -218,6 +236,13 @@ class ProbeEngine {
   void set_retries(int retries) { options_.retries = retries; }
   [[nodiscard]] int retries() const { return options_.retries; }
 
+  /// Starts a fresh pass: clears counters, the transcript and the pass
+  /// clock (elapsed()), and reseeds the jitter stream. Session-lifetime
+  /// state survives: the clock base (see set_clock_base), yielded election
+  /// contenders, and the already-charged start offset — contenders are
+  /// physical daemons that stay yielded once suppressed, so a multi-pass
+  /// session pays per-contender arbitration and the delayed start once,
+  /// not once per pass.
   void reset();
 
   [[nodiscard]] simnet::Network& network() { return *net_; }
@@ -249,8 +274,15 @@ class ProbeEngine {
   ProbeCounters counters_;
   common::SimTime elapsed_{};
   common::SimTime clock_base_{};
-  /// Election: contenders that have not yet yielded to the winner.
+  /// Election: contenders that have not yet yielded to the winner. Armed
+  /// once at construction; yielding is permanent for the engine's lifetime
+  /// (reset() keeps it — see reset()'s comment).
   std::vector<bool> unyielded_;
+  /// Election: the winner's delayed start, drawn once per session and
+  /// charged by reset() until the first probe is sent.
+  common::SimTime election_start_offset_{};
+  /// True once any probe attempt has been sent in this engine's lifetime.
+  bool session_started_ = false;
   common::Rng election_rng_;
   common::Rng jitter_rng_;
   std::vector<TranscriptEntry> transcript_;

@@ -164,6 +164,57 @@ void run_quiescent_oracles(const ScenarioCase& c, const OracleOptions& options,
     report.skipped.push_back("berkeley-iso: disabled");
   }
 
+  // Pipelined probing must be a pure re-timing of the serial engine: same
+  // probe counters, an isomorphic map, elapsed() <= serial at window 8, and
+  // elapsed() == serial exactly at window 1.
+  if (options.pipeline && have_berkeley) {
+    try {
+      mapper::MapperConfig config;
+      config.search_depth = depth;
+      config.max_explorations = options.max_explorations;
+      config.sabotage_skip_merges = options.sabotage_skip_merges;
+      const auto run_with = [&](int window) {
+        simnet::Network net(c.network, c.collision);
+        probe::ProbeEngine engine(net, mapper);
+        mapper::MapperConfig windowed = config;
+        windowed.pipeline_window = window;
+        return mapper::BerkeleyMapper(engine, windowed).run();
+      };
+      const mapper::MapResult piped = run_with(8);
+      if (!(piped.probes == berkeley.probes)) {
+        report.violations.push_back(
+            {"pipeline-equiv",
+             "window-8 probe counters diverge from serial: " +
+                 std::to_string(piped.probes.total()) + " probes vs " +
+                 std::to_string(berkeley.probes.total())});
+      } else if (!topo::isomorphic(piped.map, berkeley.map)) {
+        report.violations.push_back(
+            {"pipeline-equiv", "window-8 map " + describe(piped.map) +
+                                   " is not isomorphic to the serial map " +
+                                   describe(berkeley.map)});
+      } else if (piped.elapsed > berkeley.elapsed) {
+        report.violations.push_back(
+            {"pipeline-equiv", "window-8 elapsed " + piped.elapsed.str() +
+                                   " exceeds serial " +
+                                   berkeley.elapsed.str()});
+      }
+      const mapper::MapResult serial_again = run_with(1);
+      if (serial_again.elapsed != berkeley.elapsed) {
+        report.violations.push_back(
+            {"pipeline-equiv", "window-1 elapsed " +
+                                   serial_again.elapsed.str() +
+                                   " does not reproduce serial " +
+                                   berkeley.elapsed.str() + " exactly"});
+      }
+    } catch (const std::exception& e) {
+      report.violations.push_back({"pipeline-crash", e.what()});
+    }
+  } else {
+    report.skipped.push_back(options.pipeline
+                                 ? "pipeline-equiv: no usable Berkeley map"
+                                 : "pipeline-equiv: disabled");
+  }
+
   if (options.myricom &&
       c.collision == simnet::CollisionModel::kCutThrough &&
       local.num_switches() >= 1) {

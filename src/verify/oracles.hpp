@@ -29,6 +29,13 @@
 //  * conservation   — the ConservationChecker hook, attached to the network
 //                     for the whole mapping session, observed no accounting
 //                     violation.
+//  * pipeline-equiv — pipelined probing is a pure re-timing: BerkeleyMapper
+//                     with an outstanding-probe window (pipeline_window = 8)
+//                     on the same quiescent case produces a map isomorphic
+//                     to the serial run's, identical probe counters, and an
+//                     elapsed() no larger than serial; and a window of 1
+//                     reproduces the serial elapsed() exactly, to the
+//                     nanosecond.
 //  * robust-iso     — for cases with a (flap-free) fault timeline: a
 //                     converged RobustMapper session yields the map of the
 //                     surviving component's core at convergence time.
@@ -57,7 +64,8 @@ struct Violation {
   /// "myricom-crash", "deadlock-updown", "deadlock-cycle",
   /// "deadlock-differential", "routing-crash", "analysis-clean",
   /// "analysis-deadlock-diff", "analysis-certificate", "analysis-crash",
-  /// "conservation", "robust-iso", "robust-crash".
+  /// "conservation", "pipeline-equiv", "pipeline-crash", "robust-iso",
+  /// "robust-crash".
   std::string oracle;
   std::string detail;
 };
@@ -80,6 +88,7 @@ struct OracleOptions {
   bool deadlock = true;
   bool analysis = true;
   bool conservation = true;
+  bool pipeline = true;
   bool robust = true;
 
   /// Plumbed into MapperConfig::sabotage_skip_merges: breaks the mapper on

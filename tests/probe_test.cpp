@@ -8,6 +8,7 @@
 namespace sanmap::probe {
 namespace {
 
+using simnet::HardwareExtensions;
 using simnet::Network;
 using simnet::Route;
 using topo::NodeId;
@@ -177,22 +178,81 @@ TEST(ProbeEngine, ElectionChargesAStartOffset) {
   EXPECT_EQ(master.elapsed().to_ns(), 0);
 }
 
-TEST(ProbeEngine, ResetRestoresEverything) {
+TEST(ProbeEngine, ResetClearsPassStateOnly) {
+  Line line;
+  Network net(line.topo);
+  ProbeEngine engine(net, line.h0);
+  engine.host_probe(Route{3, 3});
+  engine.reset();
+  EXPECT_EQ(engine.counters().total(), 0u);
+  EXPECT_EQ(engine.elapsed().to_ns(), 0);
+  EXPECT_TRUE(engine.transcript().empty());
+}
+
+// Regression: reset() used to re-arm every election contender and re-draw
+// the start offset, so a multi-pass session (RobustMapper re-running
+// BerkeleyMapper, whose run() resets the engine) re-paid arbitration on
+// every pass. Contenders are physical daemons — once yielded, they stay
+// yielded for the lifetime of the engine.
+TEST(ProbeEngine, ResetDoesNotRearmElectionContenders) {
   Line line;
   Network net(line.topo);
   ProbeOptions options;
   options.election = true;
   ProbeEngine engine(net, line.h0, options);
-  engine.host_probe(Route{3, 3});  // yields h1
-  const auto yielded_clock = engine.elapsed();
+  engine.host_probe(Route{3, 3});  // h1 yields: arbitration paid once
   engine.reset();
-  EXPECT_EQ(engine.counters().total(), 0u);
-  EXPECT_LT(engine.elapsed(), yielded_clock);
-  // h1 is a contender again: the first probe pays arbitration once more.
-  const auto before = engine.elapsed();
+  // Pass 2 starts at a clean clock: no start offset re-charged either.
+  EXPECT_EQ(engine.elapsed().to_ns(), 0);
   EXPECT_EQ(engine.host_probe(Route{3, 3}), "h1");
-  EXPECT_GE((engine.elapsed() - before).to_ns(),
-            options.election_arbitration.to_ns());
+  const auto pass2_cost = engine.elapsed();
+
+  // A plain (master-mode) engine's round trip is the no-arbitration cost.
+  ProbeEngine master(net, line.h0);
+  master.host_probe(Route{3, 3});
+  EXPECT_EQ(pass2_cost.to_ns(), master.elapsed().to_ns());
+}
+
+// Regression: a probe that reaches a non-participating host used to be
+// recorded as answered=false with an empty response, so transcript_replays
+// (which replays against a network where every host answers) rejected
+// perfectly valid sessions. The transcript records the network-level
+// outcome: the route does reach that host.
+TEST(ProbeEngine, NonParticipantTranscriptReplaysAgainstFullNetwork) {
+  Line line;
+  HardwareExtensions ext;
+  ext.hosts_answer_early_hits = true;
+  Network net(line.topo, simnet::CollisionModel::kCutThrough, {}, {}, 1, ext);
+  ProbeOptions options;
+  options.participants = {line.h0};  // h1 has no daemon
+  options.record_transcript = true;
+  ProbeEngine engine(net, line.h0, options);
+  EXPECT_EQ(engine.host_probe(Route{3, 3}), std::nullopt);
+  EXPECT_EQ(engine.wild_probe(Route{3, 3}), std::nullopt);
+  ASSERT_EQ(engine.transcript().size(), 2u);
+  for (const TranscriptEntry& entry : engine.transcript()) {
+    EXPECT_TRUE(entry.answered);
+    EXPECT_EQ(entry.response, "h1");
+  }
+  // The documented contract: replaying against the same quiescent network
+  // with all hosts answering reproduces every entry.
+  EXPECT_TRUE(transcript_replays(engine.transcript(), net, line.h0));
+}
+
+TEST(ProbeEngine, TimedOutWildProbeTranscriptReplays) {
+  Line line;
+  HardwareExtensions ext;
+  ext.hosts_answer_early_hits = true;
+  Network net(line.topo, simnet::CollisionModel::kCutThrough, {}, {}, 1, ext);
+  ProbeOptions options;
+  options.record_transcript = true;
+  ProbeEngine engine(net, line.h0, options);
+  // Route{3} strands inside the fabric: no host is ever reached, so the
+  // entry really is unanswered — and replays as such.
+  EXPECT_EQ(engine.wild_probe(Route{3}), std::nullopt);
+  ASSERT_EQ(engine.transcript().size(), 1u);
+  EXPECT_FALSE(engine.transcript().front().answered);
+  EXPECT_TRUE(transcript_replays(engine.transcript(), net, line.h0));
 }
 
 TEST(ProbeEngine, ChargeAddsMapperWork) {
