@@ -81,6 +81,11 @@ IncrementalMapper::IncrementalMapper(probe::ProbeEngine& engine,
   SANMAP_CHECK_MSG(config_.verify_fraction >= 1.0 || !config_.repair,
                    "sampled verification (verify_fraction < 1) cannot "
                    "repair: the repair phase needs the full confirmed set");
+  for (const topo::NodeId s : config_.region) {
+    SANMAP_CHECK_MSG(previous_.node_alive(s) && previous_.is_switch(s),
+                     "IncrementalConfig::region entry " << s
+                         << " is not a live switch of the previous map");
+  }
 }
 
 IncrementalResult IncrementalMapper::run() {
@@ -104,10 +109,29 @@ IncrementalResult IncrementalMapper::run() {
            sample.chance(config_.verify_fraction);
   };
 
+  // Region restriction: empty region sweeps everything.
+  std::vector<bool> in_region;
+  if (!config_.region.empty()) {
+    in_region.assign(previous_.node_capacity(), false);
+    for (const topo::NodeId s : config_.region) {
+      in_region[s] = true;
+    }
+  }
+  const auto swept = [&](topo::NodeId s) {
+    return in_region.empty() || in_region[s];
+  };
+
   // ---- verification sweep ------------------------------------------------
   // Switches incident to a discrepancy; their confirmed slot sets.
   std::vector<bool> suspicious(previous_.node_capacity(), false);
   std::vector<std::vector<bool>> confirmed(previous_.node_capacity());
+  // Switches some probe positively answered through. A dead switch answers
+  // nothing everywhere, and silence is exactly what the free-port checks
+  // expect — so a leaf switch whose only occupied port is its entry wire
+  // would pass the sweep unnoticed (the same blind spot RobustMapper's
+  // @mapper-wire check closes for the first hop). Track positive evidence
+  // and buy a direct bounce for any swept switch that ends up without it.
+  std::vector<bool> answered(previous_.node_capacity(), false);
   const auto flag = [&](DiscrepancyKind kind, topo::NodeId s, topo::Port p,
                         const std::string& what) {
     suspicious[s] = true;
@@ -117,6 +141,15 @@ IncrementalResult IncrementalMapper::run() {
   };
 
   for (const topo::NodeId s : switch_order) {
+    if (!swept(s)) {
+      // Trusted wholesale: every recorded port counts as confirmed without
+      // spending a probe. (A neighbor's failed boundary echo can still mark
+      // this switch suspicious, which overrides the trust in repair.)
+      confirmed[s].assign(
+          static_cast<std::size_t>(previous_.port_count(s)), true);
+      continue;
+    }
+    ++result.swept_switches;
     if (confirmed[s].empty()) {  // may already hold far-side confirmations
       confirmed[s].assign(
           static_cast<std::size_t>(previous_.port_count(s)), false);
@@ -132,6 +165,7 @@ IncrementalResult IncrementalMapper::run() {
         }
         const auto r = engine_->probe(simnet::extended(rs.prefix, turn));
         if (r.kind != probe::ResponseKind::kNothing) {
+          answered[s] = true;  // whatever answered, the route through s works
           std::ostringstream oss;
           oss << "new device on a recorded-free port of switch "
               << previous_.name(s);
@@ -160,6 +194,7 @@ IncrementalResult IncrementalMapper::run() {
           flag(DiscrepancyKind::kHostMissing, s, p, oss.str());
         } else {
           confirmed[s][static_cast<std::size_t>(p)] = true;
+          answered[s] = true;
         }
         continue;
       }
@@ -176,6 +211,8 @@ IncrementalResult IncrementalMapper::run() {
       echo.insert(echo.end(), back.begin(), back.end());
       if (engine_->echo_probe(echo)) {
         confirmed[s][static_cast<std::size_t>(p)] = true;
+        answered[s] = true;
+        answered[far->node] = true;  // the echo crossed and returned via far
         if (confirmed[far->node].empty()) {
           confirmed[far->node].assign(
               static_cast<std::size_t>(previous_.port_count(far->node)),
@@ -192,10 +229,26 @@ IncrementalResult IncrementalMapper::run() {
              oss.str() + " (far side)");
       }
     }
-    // Entry wires count as confirmed once any probe through them returned;
-    // the sweep above sends several per switch, so mark them confirmed
-    // unless the switch itself was flagged.
-    confirmed[s][static_cast<std::size_t>(rs.entry)] = true;
+    // Entry wires count as confirmed once a probe through them answered.
+    // When the whole sweep of this switch was expects-nothing checks, buy
+    // the positive evidence with one direct probe the switch itself must
+    // bounce (for the first switch this is RobustMapper's @mapper-wire
+    // check; for deeper switches it also exercises every trusted hop of
+    // the prefix, so an undersized dirty region still cannot splice a
+    // dead path back in).
+    if (!answered[s] && sampled()) {
+      answered[s] =
+          engine_->probe(rs.prefix).kind == probe::ResponseKind::kSwitch;
+      if (!answered[s]) {
+        std::ostringstream oss;
+        oss << "switch " << previous_.name(s)
+            << " answers nothing on its entry wire";
+        flag(DiscrepancyKind::kWireBroken, s, rs.entry, oss.str());
+      }
+    }
+    if (answered[s]) {
+      confirmed[s][static_cast<std::size_t>(rs.entry)] = true;
+    }
   }
 
   result.verification_probes = engine_->counters().total();
@@ -286,8 +339,20 @@ IncrementalResult IncrementalMapper::run() {
   model.stabilize();
   model.prune();
   result.map = model.extract();
-  // Shed separated clusters the degree-based prune cannot reach (see
-  // BerkeleyMapper::run).
+  // Unlike a from-scratch map (grown outward from the mapper, connected by
+  // construction), a spliced map can hold trusted fragments the repair cut
+  // the mapper off from — a dead in-region path strands everything behind
+  // it. Keep only the mapper's component, then shed separated clusters the
+  // degree-based prune cannot reach (see BerkeleyMapper::run).
+  if (const auto m = result.map.find_host(mapper_name)) {
+    std::vector<int> component;
+    topo::components(result.map, component);
+    for (const topo::NodeId n : result.map.nodes()) {
+      if (component[n] != component[*m]) {
+        result.map.remove_node(n);
+      }
+    }
+  }
   result.map = topo::core(result.map);
   result.probes = engine_->counters();
   result.elapsed = engine_->elapsed();

@@ -87,6 +87,15 @@ struct IncrementalConfig {
   double verify_fraction = 1.0;
   /// Seed for the sampling draw (deterministic given the seed).
   std::uint64_t sample_seed = 0x5eed;
+  /// Previous-map switch ids to sweep — the dirty region. Empty means sweep
+  /// everything (the default; bit-identical to the pre-region behaviour).
+  /// Switches outside the region are trusted wholesale: no probes are spent
+  /// on them, every recorded port counts as confirmed, and repair marks
+  /// them explored. The region self-corrects at its boundary: an echo from
+  /// an in-region switch across a boundary wire still exercises the trusted
+  /// side, and a failure flags both ends for re-exploration, so a region
+  /// drawn slightly too small costs a repair pass rather than a wrong map.
+  std::vector<topo::NodeId> region;
 };
 
 struct IncrementalResult {
@@ -95,6 +104,8 @@ struct IncrementalResult {
   bool unchanged = false;
   /// Probes spent on the verification sweep alone.
   std::uint64_t verification_probes = 0;
+  /// Switches actually swept (== reachable switches when region is empty).
+  std::size_t swept_switches = 0;
   /// Human-readable descriptions of what verification caught.
   std::vector<std::string> discrepancies;
   /// The same findings, structured (one entry per flagged port; a broken

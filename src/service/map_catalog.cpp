@@ -1,5 +1,6 @@
 #include "service/map_catalog.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "analysis/analyzer.hpp"
@@ -8,7 +9,24 @@
 namespace sanmap::service {
 
 MapCatalog::MapCatalog(std::size_t history_limit)
-    : history_limit_(history_limit) {}
+    : health_(std::make_shared<const HealthStatus>()),
+      history_limit_(history_limit) {}
+
+bool MapCatalog::HealthStatus::quarantines(
+    const std::string& switch_name) const {
+  return std::binary_search(quarantined.begin(), quarantined.end(),
+                            switch_name);
+}
+
+void MapCatalog::set_health(HealthStatus status) {
+  std::sort(status.quarantined.begin(), status.quarantined.end());
+  status.quarantined.erase(
+      std::unique(status.quarantined.begin(), status.quarantined.end()),
+      status.quarantined.end());
+  auto fresh = std::make_shared<const HealthStatus>(std::move(status));
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  health_ = std::move(fresh);
+}
 
 MapCatalog::PublishResult MapCatalog::publish(MapSnapshot snapshot) {
   return publish_impl(std::move(snapshot), /*check_stale=*/false, 0);
@@ -73,6 +91,14 @@ MapCatalog::PublishResult MapCatalog::publish_impl(
     history_.pop_front();
   }
   current_.store(published, std::memory_order_release);
+  // A fresh epoch supersedes any quarantine: the new snapshot was just
+  // validated against the fabric (checked at its build instant).
+  HealthStatus fresh;
+  fresh.checked_at = published->created_at;
+  {
+    std::lock_guard<std::mutex> health_lock(health_mutex_);
+    health_ = std::make_shared<const HealthStatus>(std::move(fresh));
+  }
   published_.fetch_add(1, std::memory_order_relaxed);
   return PublishResult{PublishStatus::kPublished, published->epoch, {}};
 }
@@ -105,6 +131,18 @@ const char* to_string(MapCatalog::PublishStatus status) {
       return "rejected-unsafe";
     case MapCatalog::PublishStatus::kRejectedStale:
       return "rejected-stale";
+  }
+  return "?";
+}
+
+const char* to_string(MapCatalog::HealthState state) {
+  switch (state) {
+    case MapCatalog::HealthState::kFresh:
+      return "fresh";
+    case MapCatalog::HealthState::kStaleServing:
+      return "stale-serving";
+    case MapCatalog::HealthState::kDegraded:
+      return "degraded";
   }
   return "?";
 }

@@ -22,6 +22,17 @@
 //
 // A bounded history of recent epochs is kept for diagnostics and for
 // readers that need to compare across a swap.
+//
+// Degraded-mode serving: alongside the snapshot the catalog carries a
+// HealthStatus — how much the writer currently trusts `current()`. The
+// refresh loop downgrades it when check_routes finds breakage it has not
+// yet remapped (kStaleServing, with the dirty switches quarantined) and
+// when even a full remap failed (kDegraded). Queries keep being answered
+// from the last safe snapshot — an old safe table beats no table — but a
+// route through a quarantined switch is refused (see RouteQueryEngine), and
+// every reader can observe how stale its answer is. Publishing a new epoch
+// resets health to kFresh atomically with the swap. Health never weakens
+// the publish gates: an unsafe table is refused no matter the state.
 #pragma once
 
 #include <atomic>
@@ -29,9 +40,11 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
+#include "common/sim_time.hpp"
 #include "service/snapshot.hpp"
 
 namespace sanmap::service {
@@ -88,6 +101,48 @@ class MapCatalog {
     return snap ? snap->epoch : 0;
   }
 
+  // -- health ---------------------------------------------------------------
+
+  enum class HealthState : std::uint8_t {
+    /// The current snapshot matches the fabric as of the last check.
+    kFresh,
+    /// Known breakage not yet remapped; serving continues outside the
+    /// quarantined region.
+    kStaleServing,
+    /// Remap attempts failed; the last safe snapshot is served as-is with
+    /// the quarantine still in force.
+    kDegraded,
+  };
+
+  struct HealthStatus {
+    HealthState state = HealthState::kFresh;
+    /// Switch names (sorted, unique) of the quarantined dirty region in the
+    /// current snapshot's map. Names, not ids: ids do not survive the remap
+    /// compaction, names do.
+    std::vector<std::string> quarantined;
+    /// Virtual instant the writer last validated (or downgraded) the
+    /// current snapshot against the fabric.
+    common::SimTime checked_at{};
+
+    [[nodiscard]] bool quarantines(const std::string& switch_name) const;
+  };
+  using HealthPtr = std::shared_ptr<const HealthStatus>;
+
+  /// The current health — a pointer copy under its own (uncontended)
+  /// mutex, never null. Not atomic<shared_ptr> like current_: libstdc++'s
+  /// lock-bit protocol releases the reader side with a relaxed RMW, which
+  /// TSan cannot order against the next writer's store — the TSan CI job
+  /// flags it. Health is read once per query (or per batch chunk), so a
+  /// plain mutex here costs nanoseconds and is provably clean.
+  [[nodiscard]] HealthPtr health() const {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    return health_;
+  }
+
+  /// Writer-side: replaces the health status (sorts/dedups the quarantine
+  /// set). Publishing a snapshot resets health to kFresh implicitly.
+  void set_health(HealthStatus status);
+
   /// A recent snapshot by epoch, if still within the history window.
   [[nodiscard]] SnapshotPtr at_epoch(std::uint64_t epoch) const;
 
@@ -110,7 +165,14 @@ class MapCatalog {
                              std::uint64_t based_on_epoch);
 
   /// The hot pointer readers load. Writers store under writer_mutex_.
+  /// Note for TSan runs: libstdc++'s atomic<shared_ptr> unlocks its
+  /// internal lock bit with a relaxed RMW on the reader side, which TSan
+  /// reports as a race against the next store — tsan.supp carries the
+  /// targeted suppression and the full explanation.
   std::atomic<SnapshotPtr> current_{nullptr};
+  /// Health readers copy under health_mutex_ (see health()). Never null.
+  mutable std::mutex health_mutex_;
+  HealthPtr health_;
 
   /// Serializes publishers and guards history_ / next_epoch_.
   mutable std::mutex writer_mutex_;
@@ -124,5 +186,6 @@ class MapCatalog {
 };
 
 const char* to_string(MapCatalog::PublishStatus status);
+const char* to_string(MapCatalog::HealthState state);
 
 }  // namespace sanmap::service

@@ -32,14 +32,32 @@ struct RouteQuery {
   std::string dst;
 };
 
+enum class QueryStatus : std::uint8_t {
+  /// A trusted route was returned.
+  kOk,
+  /// No such hosts / no route in the snapshot.
+  kNotFound,
+  /// A route exists in the snapshot but crosses the quarantined dirty
+  /// region — the service no longer trusts it, so it is withheld.
+  kDegraded,
+};
+
+const char* to_string(QueryStatus status);
+
 struct RouteAnswer {
-  /// Both hosts exist in the snapshot's map and a route connects them.
+  /// Both hosts exist in the snapshot's map and a trusted route connects
+  /// them (== status kOk).
   bool found = false;
+  QueryStatus status = QueryStatus::kNotFound;
   /// Epoch of the snapshot that produced this answer (0 = catalog empty).
   std::uint64_t epoch = 0;
   int hops = 0;
   /// The source-route turn sequence (empty unless found).
   simnet::Route turns;
+  /// How far the fabric is known to have moved past this snapshot: the
+  /// writer's last health-check instant minus the snapshot's build instant
+  /// (zero while fresh). Observable staleness per read.
+  common::SimTime stale_age{};
 };
 
 /// Fabric summary computed from the current snapshot.
@@ -63,10 +81,11 @@ class RouteQueryEngine {
                                   const std::string& dst) const;
 
   /// Answers against an explicit snapshot (the per-chunk inner loop; also
-  /// lets tests pin an epoch).
-  [[nodiscard]] static RouteAnswer route_on(const MapSnapshot& snapshot,
-                                            const std::string& src,
-                                            const std::string& dst);
+  /// lets tests pin an epoch). `health` may be null (treated as fresh).
+  [[nodiscard]] static RouteAnswer route_on(
+      const MapSnapshot& snapshot, const std::string& src,
+      const std::string& dst,
+      const MapCatalog::HealthStatus* health = nullptr);
 
   /// True when a route src -> dst exists in the current snapshot.
   [[nodiscard]] bool reachable(const std::string& src,
@@ -90,11 +109,17 @@ class RouteQueryEngine {
   [[nodiscard]] std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Queries refused because their route crossed the quarantine (a subset
+  /// of misses()).
+  [[nodiscard]] std::uint64_t degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
 
  private:
   const MapCatalog* catalog_;
   mutable std::atomic<std::uint64_t> served_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> degraded_{0};
 };
 
 }  // namespace sanmap::service

@@ -1,17 +1,34 @@
-// The write side of the map service: watch, remap, verify, swap.
+// The write side of the map service: watch, localize, remap, verify, swap.
 //
 // A long-lived mapper host does the paper's §5.5 pipeline forever. Each
 // tick advances the virtual clock by the check interval and fires every
 // route of the current snapshot into the live (possibly faulted) fabric via
 // routing::check_routes. While the fabric is healthy a tick is pure
-// observation. When routes broke — a FaultSchedule killed a link, a switch
-// died — the loop runs a mapper::RobustMapper session against the live
-// network (converging to the map of the surviving fabric), computes fresh
-// UP*/DOWN* routes, verifies them with the channel-dependency deadlock
-// analysis, distributes the tables in-band to every interface, and
-// publishes the snapshot with publish_if_current — so if a concurrent
-// publisher moved the catalog first, the slower result is dropped as stale
-// instead of clobbering fresher routes.
+// observation. When routes broke, the loop escalates through three rungs:
+//
+//  1. incremental — localize the dirty region (a greedy hitting set of the
+//     broken routes' path switches, expanded by a configurable radius),
+//     re-probe only that region with IncrementalMapper (the rest of the
+//     previous epoch's map is trusted wholesale and spliced around it),
+//     validate the candidate routes against the live fabric, and publish;
+//  2. full remap — a mapper::RobustMapper session against the live network
+//     when the incremental attempt failed, produced a map the router
+//     refuses, or its routes failed validation;
+//  3. degraded — when even the full remap cannot produce a publishable
+//     snapshot, keep serving the last safe snapshot with the dirty region
+//     quarantined (MapCatalog health kDegraded) and try again next tick.
+//
+// Every published snapshot — incremental or full — passes the same
+// channel-dependency deadlock gate and lands via publish_if_current, so a
+// concurrent publisher's fresher routes are never clobbered and an unsafe
+// table is never served, no matter which rung produced it.
+//
+// Two dampers keep a flapping link from turning into a remap storm: an
+// exponential backoff (consecutive breakage ticks double the pause before
+// the next remap attempt, up to a cap) and a per-horizon probe budget
+// (remaps stop, and serving degrades, when a sliding window's probe spend
+// is exhausted). While damped, the loop still downgrades catalog health so
+// readers see the staleness.
 //
 // Threading: one RefreshLoop instance is single-threaded (Network and
 // ProbeEngine are not thread-safe) and is the catalog's writer; any number
@@ -20,6 +37,7 @@
 // design of the service.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,6 +45,7 @@
 #include "mapper/robust_mapper.hpp"
 #include "probe/probe_engine.hpp"
 #include "routing/distribute.hpp"
+#include "routing/route_health.hpp"
 #include "service/map_catalog.hpp"
 #include "simnet/network.hpp"
 
@@ -35,9 +54,12 @@ namespace sanmap::service {
 struct RefreshConfig {
   /// The mapper/master host, by name (must exist in the live fabric).
   std::string master_name;
-  /// Virtual time between health checks.
+  /// Virtual time between health checks (must be positive).
   common::SimTime check_interval = common::SimTime::ms(50);
-  /// Route parameters baked into every published snapshot.
+  /// Route parameters baked into every published snapshot. An empty
+  /// root_name selects the natural root (the switch farthest from all
+  /// hosts); a non-empty name that matches no switch of a freshly mapped
+  /// fabric fails at snapshot build.
   std::string root_name;
   std::uint64_t route_seed = 1;
   /// Remap session knobs. A base.search_depth <= 0 is replaced with the
@@ -47,7 +69,45 @@ struct RefreshConfig {
   /// Distribute tables in-band before publishing (off for pure-simulation
   /// uses that only care about the catalog).
   bool distribute = true;
+
+  // -- incremental remap ----------------------------------------------------
+  /// Try a dirty-region incremental remap before falling back to a full
+  /// RobustMapper session.
+  bool incremental = true;
+  /// BFS expansion (in switch hops over the previous map) around the dirty
+  /// seed switches. 0 sweeps only the seeds themselves.
+  int dirty_radius = 1;
+
+  // -- remap storm damping --------------------------------------------------
+  /// Pause before the next remap after each consecutive breakage tick,
+  /// doubling per consecutive remap up to max_backoff. Zero disables
+  /// backoff entirely.
+  common::SimTime initial_backoff = common::SimTime::ms(100);
+  common::SimTime max_backoff = common::SimTime::seconds(2);
+  /// Probes remap sessions may spend per budget_horizon of virtual time
+  /// (a sliding window anchored at the first remap of the window). 0 means
+  /// unlimited. When exhausted, breakage ticks downgrade health instead of
+  /// probing until the window rolls over.
+  std::uint64_t horizon_probe_budget = 0;
+  common::SimTime budget_horizon = common::SimTime::seconds(1);
 };
+
+/// Outcome of a tick's publish attempt. Unlike MapCatalog::PublishStatus
+/// this has an explicit idle state, so a tick that never tried to publish
+/// cannot be mistaken for a rejected one.
+enum class TickPublish : std::uint8_t {
+  kNotAttempted,
+  kPublished,
+  kRejectedUnsafe,
+  kRejectedStale,
+};
+
+const char* to_string(TickPublish status);
+
+/// Which remap rung produced the tick's final candidate snapshot.
+enum class RemapKind : std::uint8_t { kNone, kIncremental, kFull };
+
+const char* to_string(RemapKind kind);
 
 /// What one tick did.
 struct TickReport {
@@ -56,15 +116,30 @@ struct TickReport {
   std::uint64_t epoch_after = 0;
   std::size_t routes_checked = 0;
   std::size_t broken = 0;
-  /// A RobustMapper session ran this tick.
+  /// A remap session (incremental or full) ran this tick.
   bool remapped = false;
-  /// Probes the remap session spent (0 when !remapped).
+  /// The rung whose snapshot the publish attempt used.
+  RemapKind remap = RemapKind::kNone;
+  /// The incremental rung was tried and fell through to the full remap.
+  bool escalated = false;
+  /// Dirty-region switches localized from the broken routes (seeds +
+  /// radius), 0 when the tick saw no breakage.
+  std::size_t dirty_switches = 0;
+  /// Breakage was seen but the remap was skipped by the backoff damper /
+  /// the exhausted per-horizon probe budget.
+  bool backoff_active = false;
+  bool budget_exhausted = false;
+  /// Probes all remap sessions of this tick spent (0 when !remapped).
   std::uint64_t probes_used = 0;
-  /// Outcome of the publish attempt (meaningful when remapped).
-  MapCatalog::PublishStatus publish_status =
-      MapCatalog::PublishStatus::kRejectedStale;
-  /// Every table message of the redistribution was delivered.
-  bool distribution_complete = true;
+  /// Outcome of the publish attempt; kNotAttempted on observation-only,
+  /// damped, and degraded ticks.
+  TickPublish publish_status = TickPublish::kNotAttempted;
+  /// Every table message of the redistribution was delivered (meaningful
+  /// only when a publish was attempted; trivially true when distribution
+  /// is disabled).
+  bool distribution_complete = false;
+  /// Catalog health after the tick.
+  MapCatalog::HealthState health = MapCatalog::HealthState::kFresh;
   /// Virtual-clock instant the tick finished at.
   common::SimTime at{};
 
@@ -74,7 +149,10 @@ struct TickReport {
 class RefreshLoop {
  public:
   /// `net` must outlive the loop; `catalog` is where snapshots land. The
-  /// master host is resolved by name against net's topology.
+  /// master host is resolved by name against net's topology. Throws
+  /// common::CheckFailure on an invalid config (empty master_name,
+  /// non-positive check_interval, negative dirty_radius, non-positive
+  /// budget_horizon) — fail at construction, not on the first tick.
   RefreshLoop(simnet::Network& net, MapCatalog& catalog, RefreshConfig config);
 
   /// Maps the fabric from scratch and publishes the first snapshot (or a
@@ -82,8 +160,8 @@ class RefreshLoop {
   TickReport bootstrap();
 
   /// One watch cycle: advance the clock, health-check the current
-  /// snapshot's routes, and remap + verify + distribute + publish when
-  /// anything broke. Bootstraps if the catalog is empty.
+  /// snapshot's routes, and localize + remap + verify + distribute +
+  /// publish when anything broke. Bootstraps if the catalog is empty.
   TickReport tick();
 
   /// Runs `ticks` cycles; returns one report per tick.
@@ -93,8 +171,35 @@ class RefreshLoop {
   [[nodiscard]] common::SimTime now() const { return now_; }
 
  private:
-  /// Remap the live fabric, build + verify a snapshot, distribute, publish.
-  void remap_and_publish(std::uint64_t based_on_epoch, TickReport& report);
+  /// Dirty-region localization: greedy hitting set over the broken routes'
+  /// path switches, expanded by config_.dirty_radius BFS hops over the
+  /// snapshot's map. Returns snapshot-map switch ids.
+  [[nodiscard]] std::vector<topo::NodeId> localize_dirty(
+      const MapSnapshot& snapshot,
+      const std::vector<routing::BrokenRoute>& broken) const;
+
+  /// The escalation chain for one breakage tick (also the bootstrap path,
+  /// with previous == nullptr). Updates catalog health on failure.
+  void remap_and_publish(std::uint64_t based_on_epoch,
+                         const SnapshotPtr& previous,
+                         const std::vector<topo::NodeId>& dirty,
+                         TickReport& report);
+
+  /// Full RobustMapper session against the live fabric.
+  [[nodiscard]] topo::Topology full_remap(TickReport& report);
+
+  /// Verify, distribute, and publish one candidate map. Returns true when
+  /// it became current. `record_rejection` feeds refused snapshots to the
+  /// catalog so its stats count them (the final rung does; the incremental
+  /// rung escalates silently instead).
+  bool try_publish(const topo::Topology& map, std::uint64_t based_on_epoch,
+                   const char* source, bool record_rejection,
+                   TickReport& report);
+
+  /// Downgrade catalog health, quarantining `dirty` (snapshot-map ids of
+  /// `snapshot`'s map).
+  void set_health(MapCatalog::HealthState state, const MapSnapshot* snapshot,
+                  const std::vector<topo::NodeId>& dirty);
 
   simnet::Network* net_;
   MapCatalog* catalog_;
@@ -102,6 +207,12 @@ class RefreshLoop {
   topo::NodeId master_;
   probe::ProbeEngine engine_;
   common::SimTime now_{};
+
+  // Storm-damper state.
+  int consecutive_remaps_ = 0;
+  common::SimTime backoff_until_{};
+  common::SimTime budget_window_start_{};
+  std::uint64_t budget_window_probes_ = 0;
 };
 
 }  // namespace sanmap::service

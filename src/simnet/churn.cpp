@@ -1,0 +1,459 @@
+#include "simnet/churn.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace sanmap::simnet {
+
+namespace {
+
+using common::SimTime;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("churn spec: " + what);
+}
+
+// -- parsing ----------------------------------------------------------------
+
+/// Parses "50", "50ms", "80us", "2s", "1500ns" into a SimTime (default ms).
+SimTime parse_duration(const std::string& clause, const std::string& key,
+                       const std::string& value) {
+  std::size_t pos = 0;
+  while (pos < value.size() &&
+         (std::isdigit(static_cast<unsigned char>(value[pos])) != 0)) {
+    ++pos;
+  }
+  if (pos == 0) {
+    fail("clause '" + clause + "': key '" + key + "' needs a duration, got '" +
+         value + "'");
+  }
+  const std::int64_t n = std::stoll(value.substr(0, pos));
+  const std::string unit = value.substr(pos);
+  if (unit.empty() || unit == "ms") {
+    return SimTime::ms(n);
+  }
+  if (unit == "ns") {
+    return SimTime::ns(n);
+  }
+  if (unit == "us") {
+    return SimTime::us(n);
+  }
+  if (unit == "s") {
+    return SimTime::seconds(n);
+  }
+  fail("clause '" + clause + "': unknown duration unit '" + unit + "' in '" +
+       value + "'");
+}
+
+int parse_count(const std::string& clause, const std::string& key,
+                const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const int n = std::stoi(value, &used);
+    if (used != value.size() || n < 0) {
+      throw std::invalid_argument(value);
+    }
+    return n;
+  } catch (const std::exception&) {
+    fail("clause '" + clause + "': key '" + key +
+         "' needs a non-negative integer, got '" + value + "'");
+  }
+}
+
+double parse_duty(const std::string& clause, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double d = std::stod(value, &used);
+    if (used != value.size() || d < 0.0 || d > 1.0) {
+      throw std::invalid_argument(value);
+    }
+    return d;
+  } catch (const std::exception&) {
+    fail("clause '" + clause + "': key 'duty' needs a real in [0, 1], got '" +
+         value + "'");
+  }
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (std::isspace(static_cast<unsigned char>(s[b])) != 0)) {
+    ++b;
+  }
+  while (e > b && (std::isspace(static_cast<unsigned char>(s[e - 1])) != 0)) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+ChurnClause parse_clause(const std::string& raw) {
+  const std::size_t open = raw.find('(');
+  if (open == std::string::npos || raw.back() != ')') {
+    fail("clause '" + raw + "' is not of the form kind(key=value,...)");
+  }
+  const std::string kind = trim(raw.substr(0, open));
+  const std::string body = raw.substr(open + 1, raw.size() - open - 2);
+
+  ChurnClause clause;
+  if (kind == "rolling") {
+    clause.kind = ChurnClause::Kind::kRolling;
+    clause.every = SimTime::ms(200);
+    clause.down = SimTime::ms(50);
+  } else if (kind == "outage") {
+    clause.kind = ChurnClause::Kind::kOutage;
+    clause.count = 2;
+  } else if (kind == "flapburst") {
+    clause.kind = ChurnClause::Kind::kFlapBurst;
+    clause.period = SimTime::ms(8);
+    clause.span = SimTime::ms(64);
+    clause.count = 1;
+  } else if (kind == "hostchurn") {
+    clause.kind = ChurnClause::Kind::kHostChurn;
+    clause.every = SimTime::ms(150);
+    clause.down = SimTime::ms(75);
+  } else {
+    fail("unknown clause kind '" + kind + "'");
+  }
+
+  std::stringstream parts(body);
+  std::string part;
+  while (std::getline(parts, part, ',')) {
+    part = trim(part);
+    if (part.empty()) {
+      continue;
+    }
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      fail("clause '" + raw + "': '" + part + "' is not key=value");
+    }
+    const std::string key = trim(part.substr(0, eq));
+    const std::string value = trim(part.substr(eq + 1));
+    if (key == "start" || key == "at") {
+      clause.at = parse_duration(raw, key, value);
+    } else if (key == "every") {
+      clause.every = parse_duration(raw, key, value);
+    } else if (key == "down") {
+      clause.down = parse_duration(raw, key, value);
+    } else if (key == "period") {
+      clause.period = parse_duration(raw, key, value);
+    } else if (key == "span") {
+      clause.span = parse_duration(raw, key, value);
+    } else if (key == "duty") {
+      clause.duty = parse_duty(raw, value);
+    } else if (key == "count" || key == "switches" || key == "wires" ||
+               key == "hosts") {
+      clause.count = parse_count(raw, key, value);
+    } else {
+      fail("clause '" + raw + "': unknown key '" + key + "'");
+    }
+  }
+
+  // Per-kind sanity so a bad spec dies at parse time, not mid-soak.
+  switch (clause.kind) {
+    case ChurnClause::Kind::kRolling:
+    case ChurnClause::Kind::kHostChurn:
+      if (clause.every <= SimTime{}) {
+        fail("clause '" + raw + "': 'every' must be positive");
+      }
+      break;
+    case ChurnClause::Kind::kOutage:
+      if (clause.count <= 0) {
+        fail("clause '" + raw + "': 'switches' must be positive");
+      }
+      break;
+    case ChurnClause::Kind::kFlapBurst:
+      if (clause.period <= SimTime{}) {
+        fail("clause '" + raw + "': 'period' must be positive");
+      }
+      if (clause.span < clause.period) {
+        fail("clause '" + raw + "': 'span' must cover at least one period");
+      }
+      if (clause.count <= 0) {
+        fail("clause '" + raw + "': 'wires' must be positive");
+      }
+      break;
+  }
+  return clause;
+}
+
+std::string render_duration(SimTime t) {
+  const std::int64_t ns = t.to_ns();
+  if (ns % 1'000'000'000 == 0) {
+    return std::to_string(ns / 1'000'000'000) + "s";
+  }
+  if (ns % 1'000'000 == 0) {
+    return std::to_string(ns / 1'000'000) + "ms";
+  }
+  if (ns % 1'000 == 0) {
+    return std::to_string(ns / 1'000) + "us";
+  }
+  return std::to_string(ns) + "ns";
+}
+
+// -- compilation ------------------------------------------------------------
+
+/// Switches eligible for churn: alive, not immune, and not the access switch
+/// of an immune host (killing it would cut the mapper off wholesale).
+std::vector<topo::NodeId> eligible_switches(
+    const topo::Topology& topo,
+    const std::unordered_set<topo::NodeId>& immune) {
+  std::unordered_set<topo::NodeId> shielded = immune;
+  for (const topo::NodeId node : immune) {
+    if (topo.node_alive(node) && topo.is_host(node)) {
+      for (const topo::PortRef& ref : topo.neighbors(node)) {
+        shielded.insert(ref.node);
+      }
+    }
+  }
+  std::vector<topo::NodeId> out;
+  for (const topo::NodeId sw : topo.switches()) {
+    if (shielded.count(sw) == 0) {
+      out.push_back(sw);
+    }
+  }
+  return out;
+}
+
+std::vector<topo::NodeId> eligible_hosts(
+    const topo::Topology& topo,
+    const std::unordered_set<topo::NodeId>& immune) {
+  std::vector<topo::NodeId> out;
+  for (const topo::NodeId host : topo.hosts()) {
+    if (immune.count(host) == 0) {
+      out.push_back(host);
+    }
+  }
+  return out;
+}
+
+/// Switch-to-switch wires whose both endpoints are eligible: flapping a host
+/// access wire would partition that host rather than stress rerouting.
+std::vector<topo::WireId> eligible_trunks(
+    const topo::Topology& topo, const std::vector<topo::NodeId>& switches) {
+  const std::unordered_set<topo::NodeId> ok(switches.begin(), switches.end());
+  std::vector<topo::WireId> out;
+  for (const topo::WireId w : topo.wires()) {
+    const topo::Wire& wire = topo.wire(w);
+    if (ok.count(wire.a.node) != 0 && ok.count(wire.b.node) != 0) {
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+template <typename Id>
+std::vector<Id> shuffled(std::vector<Id> ids, common::Rng& rng) {
+  rng.shuffle(ids);
+  return ids;
+}
+
+}  // namespace
+
+const char* to_string(ChurnClause::Kind kind) {
+  switch (kind) {
+    case ChurnClause::Kind::kRolling:
+      return "rolling";
+    case ChurnClause::Kind::kOutage:
+      return "outage";
+    case ChurnClause::Kind::kFlapBurst:
+      return "flapburst";
+    case ChurnClause::Kind::kHostChurn:
+      return "hostchurn";
+  }
+  return "?";
+}
+
+common::SimTime ChurnSpec::horizon(std::size_t eligible) const {
+  SimTime end{};
+  const auto waves = [eligible](const ChurnClause& c) {
+    if (c.count > 0) {
+      return static_cast<std::int64_t>(c.count);
+    }
+    return static_cast<std::int64_t>(eligible > 0 ? eligible : 1);
+  };
+  for (const ChurnClause& c : clauses) {
+    SimTime last{};
+    switch (c.kind) {
+      case ChurnClause::Kind::kRolling:
+      case ChurnClause::Kind::kHostChurn:
+        last = c.at + c.every * (waves(c) - 1) + c.down;
+        break;
+      case ChurnClause::Kind::kOutage:
+        last = c.at + c.down;
+        break;
+      case ChurnClause::Kind::kFlapBurst:
+        last = c.at + c.span;
+        break;
+    }
+    end = std::max(end, last);
+  }
+  return end;
+}
+
+ChurnSpec ChurnSpec::shifted(common::SimTime offset) const {
+  ChurnSpec out = *this;
+  for (ChurnClause& c : out.clauses) {
+    c.at = c.at + offset;
+  }
+  return out;
+}
+
+ChurnSpec parse_churn_spec(const std::string& text) {
+  ChurnSpec spec;
+  std::stringstream clauses(text);
+  std::string raw;
+  while (std::getline(clauses, raw, ';')) {
+    raw = trim(raw);
+    if (raw.empty()) {
+      continue;
+    }
+    spec.clauses.push_back(parse_clause(raw));
+  }
+  if (spec.clauses.empty()) {
+    fail("no clauses in '" + text + "'");
+  }
+  return spec;
+}
+
+std::string to_string(const ChurnSpec& spec) {
+  std::string out;
+  for (const ChurnClause& c : spec.clauses) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += to_string(c.kind);
+    out += '(';
+    switch (c.kind) {
+      case ChurnClause::Kind::kRolling:
+      case ChurnClause::Kind::kHostChurn:
+        out += "start=" + render_duration(c.at);
+        out += ",every=" + render_duration(c.every);
+        out += ",down=" + render_duration(c.down);
+        out += ",count=" + std::to_string(c.count);
+        break;
+      case ChurnClause::Kind::kOutage:
+        out += "at=" + render_duration(c.at);
+        out += ",switches=" + std::to_string(c.count);
+        out += ",down=" + render_duration(c.down);
+        break;
+      case ChurnClause::Kind::kFlapBurst:
+        out += "at=" + render_duration(c.at);
+        out += ",span=" + render_duration(c.span);
+        out += ",period=" + render_duration(c.period);
+        {
+          std::ostringstream duty;
+          duty << c.duty;
+          out += ",duty=" + duty.str();
+        }
+        out += ",wires=" + std::to_string(c.count);
+        break;
+    }
+    out += ')';
+  }
+  return out;
+}
+
+ChurnGenerator::ChurnGenerator(ChurnSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {}
+
+FaultSchedule ChurnGenerator::compile(
+    const topo::Topology& topo,
+    const std::vector<topo::NodeId>& immune) const {
+  const std::unordered_set<topo::NodeId> shield(immune.begin(), immune.end());
+  const std::vector<topo::NodeId> switches = eligible_switches(topo, shield);
+  const std::vector<topo::NodeId> hosts = eligible_hosts(topo, shield);
+  const std::vector<topo::WireId> trunks = eligible_trunks(topo, switches);
+
+  common::Rng rng(seed_);
+  FaultSchedule schedule;
+
+  for (const ChurnClause& c : spec_.clauses) {
+    // Each clause forks its own stream so reordering clauses does not
+    // reshuffle the targets of the others.
+    common::Rng clause_rng = rng.fork();
+    switch (c.kind) {
+      case ChurnClause::Kind::kRolling: {
+        if (switches.empty()) {
+          fail("rolling: no eligible switch (all immune or shielded)");
+        }
+        std::vector<topo::NodeId> order = shuffled(switches, clause_rng);
+        const int waves =
+            c.count > 0 ? c.count : static_cast<int>(order.size());
+        for (int k = 0; k < waves; ++k) {
+          const topo::NodeId sw =
+              order[static_cast<std::size_t>(k) % order.size()];
+          const SimTime start = c.at + c.every * k;
+          schedule.node_down(sw, start);
+          if (c.down > SimTime{}) {
+            schedule.node_up(sw, start + c.down);
+          }
+        }
+        break;
+      }
+      case ChurnClause::Kind::kOutage: {
+        if (switches.empty()) {
+          fail("outage: no eligible switch (all immune or shielded)");
+        }
+        std::vector<topo::NodeId> order = shuffled(switches, clause_rng);
+        const std::size_t n = std::min<std::size_t>(
+            static_cast<std::size_t>(c.count), order.size());
+        for (std::size_t i = 0; i < n; ++i) {
+          schedule.node_down(order[i], c.at);
+          if (c.down > SimTime{}) {
+            schedule.node_up(order[i], c.at + c.down);
+          }
+        }
+        break;
+      }
+      case ChurnClause::Kind::kFlapBurst: {
+        if (trunks.empty()) {
+          fail("flapburst: no eligible switch-to-switch wire");
+        }
+        std::vector<topo::WireId> order = shuffled(trunks, clause_rng);
+        const std::size_t n = std::min<std::size_t>(
+            static_cast<std::size_t>(c.count), order.size());
+        // Explicit down/up pairs per cycle: a FaultSchedule flap never
+        // terminates, so a *bounded* burst must be unrolled.
+        const SimTime up_span = SimTime::ns(static_cast<std::int64_t>(
+            c.duty * static_cast<double>(c.period.to_ns())));
+        for (std::size_t i = 0; i < n; ++i) {
+          const topo::WireId w = order[i];
+          for (SimTime t = c.at; t < c.at + c.span; t += c.period) {
+            if (up_span >= c.period) {
+              continue;  // duty 1.0: never actually down
+            }
+            schedule.link_down(w, t + up_span);
+            schedule.link_up(w, std::min(t + c.period, c.at + c.span));
+          }
+        }
+        break;
+      }
+      case ChurnClause::Kind::kHostChurn: {
+        if (hosts.empty()) {
+          fail("hostchurn: no eligible host (all immune)");
+        }
+        std::vector<topo::NodeId> order = shuffled(hosts, clause_rng);
+        const int waves = c.count > 0 ? c.count : static_cast<int>(order.size());
+        for (int k = 0; k < waves; ++k) {
+          const topo::NodeId host =
+              order[static_cast<std::size_t>(k) % order.size()];
+          const SimTime start = c.at + c.every * k;
+          schedule.node_down(host, start);
+          if (c.down > SimTime{}) {
+            schedule.node_up(host, start + c.down);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace sanmap::simnet

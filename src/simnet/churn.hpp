@@ -1,0 +1,123 @@
+// Long-horizon churn scenarios compiled into a FaultSchedule.
+//
+// FaultSchedule expresses *one* timeline; a service soak needs *families* of
+// timelines — rolling switch maintenance, correlated outages, flapping
+// bursts, hosts leaving and rejoining — stretched over hours of virtual
+// time. A ChurnSpec describes such a scenario in a small parseable grammar
+// (shared by `sanmap serve --churn` and bench_churn, so a bench scenario is
+// always reproducible from one command line), and a seeded ChurnGenerator
+// compiles it against a concrete fabric into the explicit FaultSchedule the
+// network consumes.
+//
+// Grammar: semicolon-separated clauses, each `kind(key=value,...)`.
+// Durations take an optional unit suffix (ns/us/ms/s; default ms), counts
+// are integers, duty is a real in [0, 1]:
+//
+//   rolling(start=100,every=200,down=50,count=8)
+//       Rolling maintenance: one eligible switch per wave, in a seeded
+//       random order (cycling when count exceeds the switch population),
+//       taken down at start + k*every and revived `down` later. count=0
+//       means one full cycle over every eligible switch.
+//   outage(at=500,switches=3,down=100)
+//       Correlated outage: `switches` distinct eligible switches die
+//       together at `at`, all revived `down` later. down=0 is permanent.
+//   flapburst(at=300,span=200,period=8,duty=0.5,wires=2)
+//       `wires` distinct eligible switch-to-switch wires flap for `span`:
+//       each period is up for duty*period then down for the rest, emitted
+//       as explicit link-down/link-up transitions so the burst *ends* (a
+//       FaultSchedule flap runs forever; a burst must not).
+//   hostchurn(start=400,every=150,down=75,count=6)
+//       Host leave/rejoin: one eligible host per wave goes down at
+//       start + k*every and rejoins `down` later (down=0: leaves for good).
+//
+// Compilation is a pure function of (spec, seed, fabric, immune set):
+// identical inputs give an identical schedule. Immune nodes — typically the
+// mapper/master host and its access switch, which the paper's model cannot
+// lose without losing the mapper itself — are never selected, and wires
+// incident to them are never flapped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "simnet/fault_schedule.hpp"
+#include "topology/topology.hpp"
+
+namespace sanmap::simnet {
+
+struct ChurnClause {
+  enum class Kind : std::uint8_t {
+    kRolling,
+    kOutage,
+    kFlapBurst,
+    kHostChurn,
+  };
+
+  Kind kind = Kind::kRolling;
+  /// Clause start instant (`start` / `at`).
+  common::SimTime at{};
+  /// Wave spacing (rolling, hostchurn).
+  common::SimTime every{};
+  /// Downtime per wave / outage (0 = permanent).
+  common::SimTime down{};
+  /// Flap cycle period (flapburst).
+  common::SimTime period{};
+  /// Burst length (flapburst).
+  common::SimTime span{};
+  /// Up fraction of each flap period, in [0, 1].
+  double duty = 0.5;
+  /// Waves (rolling/hostchurn; 0 = one full cycle over the eligible set),
+  /// or simultaneous targets (outage `switches`, flapburst `wires`).
+  int count = 0;
+};
+
+const char* to_string(ChurnClause::Kind kind);
+
+struct ChurnSpec {
+  std::vector<ChurnClause> clauses;
+
+  [[nodiscard]] bool empty() const { return clauses.empty(); }
+
+  /// Latest instant any clause can still schedule a transition — the
+  /// natural soak horizon. Resolves count=0 cycles pessimistically against
+  /// `eligible` targets (pass the fabric's switch/host count).
+  [[nodiscard]] common::SimTime horizon(std::size_t eligible) const;
+
+  /// The same scenario with every clause start pushed `offset` later.
+  /// Clause instants are absolute virtual time, but a serving loop's clock
+  /// only starts ticking after its bootstrap remap — shift by the
+  /// post-bootstrap clock to anchor a scenario "after the service is up".
+  [[nodiscard]] ChurnSpec shifted(common::SimTime offset) const;
+};
+
+/// Parses the grammar above. Throws std::runtime_error naming the offending
+/// clause/key on malformed input.
+ChurnSpec parse_churn_spec(const std::string& text);
+
+/// Canonical text form (parses back to an equal spec).
+std::string to_string(const ChurnSpec& spec);
+
+class ChurnGenerator {
+ public:
+  ChurnGenerator(ChurnSpec spec, std::uint64_t seed);
+
+  /// Compiles the spec against a fabric. Nodes in `immune` (and, for
+  /// switch-targeting clauses, switches directly wired to an immune host)
+  /// are never selected; wires incident to an ineligible switch are never
+  /// flapped. Throws std::runtime_error when a clause has no eligible
+  /// target at all.
+  [[nodiscard]] FaultSchedule compile(
+      const topo::Topology& topo,
+      const std::vector<topo::NodeId>& immune = {}) const;
+
+  [[nodiscard]] const ChurnSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  ChurnSpec spec_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace sanmap::simnet

@@ -1,12 +1,16 @@
 #include "verify/oracles.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
+#include <utility>
 
 #include "analysis/analyzer.hpp"
 #include "mapper/berkeley_mapper.hpp"
+#include "mapper/incremental.hpp"
 #include "mapper/robust_mapper.hpp"
 #include "myricom/myricom_mapper.hpp"
 #include "probe/probe_engine.hpp"
@@ -407,6 +411,169 @@ void run_faulted_oracles(const ScenarioCase& c, const OracleOptions& options,
   }
 }
 
+// Incremental splice equivalence: after the (flap-free) timeline settles,
+// an IncrementalMapper sweep restricted to the dirty region — the switches
+// the fault events touch, expanded by dirty_radius over the pre-fault map —
+// spliced into the pre-fault map must equal a from-scratch remap of the
+// surviving fabric at the same instant (Theorem 1 applied to the splice),
+// and must be strictly cheaper in probes when the region covers at most
+// half the fabric's switches (the "single-region fault" regime the service
+// counts on for its probe savings).
+void run_incremental_oracle(const ScenarioCase& c, const OracleOptions& options,
+                            NodeId mapper, int depth, OracleReport& report) {
+  if (!options.incremental) {
+    report.skipped.push_back("incremental-equiv: disabled");
+    return;
+  }
+  if (c.has_flap()) {
+    report.skipped.push_back("incremental-equiv: flapping timeline");
+    return;
+  }
+
+  const simnet::FaultSchedule schedule = c.schedule();
+  // Settle strictly past the last event: the fabric is static for both
+  // sessions, so this is pure Theorem-1 territory (no blind window).
+  common::SimTime settle{};
+  for (const FaultEvent& event : c.faults) {
+    settle = std::max(settle, event.at);
+  }
+  settle += common::SimTime::ms(1);
+
+  // The previous epoch's model: the mapper-component core of the pre-fault
+  // fabric (component_of/core preserve ids, so event-derived switch ids
+  // stay valid in it).
+  const Topology previous = topo::core(component_of(c.network, mapper));
+  if (previous.num_switches() == 0) {
+    report.skipped.push_back("incremental-equiv: switchless previous map");
+    return;
+  }
+
+  Topology alive = schedule.surviving(c.network, settle);
+  if (mapper >= alive.node_capacity() || !alive.node_alive(mapper)) {
+    report.skipped.push_back("incremental-equiv: mapper host itself failed");
+    return;
+  }
+  const Topology truth = topo::core(component_of(alive, mapper));
+
+  // Dirty region: every previous-map switch a fault event touches — wire
+  // endpoints for link events, the node plus its neighbors for node events
+  // (a dead node takes all incident wires with it).
+  std::unordered_set<NodeId> dirty;
+  const auto add_switch = [&](NodeId n) {
+    if (n < previous.node_capacity() && previous.node_alive(n) &&
+        previous.is_switch(n)) {
+      dirty.insert(n);
+    }
+  };
+  for (const FaultEvent& event : c.faults) {
+    switch (event.kind) {
+      case FaultEvent::Kind::kLinkDown:
+      case FaultEvent::Kind::kLinkUp: {
+        const topo::Wire& wire = c.network.wire(event.wire);
+        add_switch(wire.a.node);
+        add_switch(wire.b.node);
+        break;
+      }
+      case FaultEvent::Kind::kNodeDown:
+      case FaultEvent::Kind::kNodeUp: {
+        add_switch(event.node);
+        if (event.node < c.network.node_capacity() &&
+            c.network.node_alive(event.node)) {
+          for (const topo::PortRef& ref : c.network.neighbors(event.node)) {
+            add_switch(ref.node);
+          }
+        }
+        break;
+      }
+      case FaultEvent::Kind::kFlap:
+        break;  // unreachable: has_flap() returned above
+    }
+  }
+  // Radius expansion over the previous map's switch graph.
+  std::deque<std::pair<NodeId, int>> frontier;
+  for (const NodeId s : dirty) {
+    frontier.emplace_back(s, 0);
+  }
+  while (!frontier.empty()) {
+    const auto [n, d] = frontier.front();
+    frontier.pop_front();
+    if (d >= options.dirty_radius) {
+      continue;
+    }
+    for (const topo::PortRef& ref : previous.neighbors(n)) {
+      if (previous.is_switch(ref.node) && dirty.insert(ref.node).second) {
+        frontier.emplace_back(ref.node, d + 1);
+      }
+    }
+  }
+  std::vector<NodeId> region(dirty.begin(), dirty.end());
+  std::sort(region.begin(), region.end());
+  // An empty region (every touched switch was outside the mapper's core)
+  // degenerates to a full verification sweep — still a valid equivalence.
+
+  simnet::Network net(c.network, c.collision);
+  net.attach_faults(&schedule);
+  probe::ProbeEngine engine(net, mapper);
+  engine.set_clock_base(settle);
+  mapper::IncrementalConfig config;
+  config.base.search_depth = depth;
+  config.base.max_explorations = options.max_explorations;
+  config.base.sabotage_skip_merges = options.sabotage_skip_merges;
+  config.repair = true;
+  config.region = region;
+
+  bool have_result = false;
+  mapper::IncrementalResult result;
+  try {
+    result = mapper::IncrementalMapper(engine, previous, config).run();
+    have_result = true;
+  } catch (const std::exception& e) {
+    report.violations.push_back({"incremental-crash", e.what()});
+  }
+  if (!have_result) {
+    return;
+  }
+
+  if (!topo::isomorphic(result.map, truth)) {
+    report.violations.push_back(
+        {"incremental-equiv",
+         "spliced map " + describe(result.map) +
+             " is not isomorphic to the surviving core " + describe(truth) +
+             " (dirty region: " + std::to_string(region.size()) +
+             " switches)"});
+    return;
+  }
+
+  // Probe-cheapness half of the contract: localized faults must not cost a
+  // full remap. Only claimed when the region covers at most half the
+  // switches — beyond that the sweep-plus-repair bill legitimately
+  // approaches a from-scratch run's.
+  if (!region.empty() && region.size() * 2 <= previous.num_switches()) {
+    simnet::Network full_net(c.network, c.collision);
+    full_net.attach_faults(&schedule);
+    probe::ProbeEngine full_engine(full_net, mapper);
+    full_engine.set_clock_base(settle);
+    mapper::MapperConfig full_config;
+    full_config.search_depth = depth;
+    full_config.max_explorations = options.max_explorations;
+    full_config.sabotage_skip_merges = options.sabotage_skip_merges;
+    try {
+      const mapper::MapResult from_scratch =
+          mapper::BerkeleyMapper(full_engine, full_config).run();
+      if (result.probes.total() >= from_scratch.probes.total()) {
+        report.violations.push_back(
+            {"incremental-equiv",
+             "single-region fault not cheaper: incremental spent " +
+                 std::to_string(result.probes.total()) +
+                 " probes, from-scratch " +
+                 std::to_string(from_scratch.probes.total())});
+      }
+    } catch (const std::exception& e) {
+      report.violations.push_back({"incremental-crash", e.what()});
+    }
+  }
+}
+
 }  // namespace
 
 OracleReport run_oracles(const ScenarioCase& c, const OracleOptions& options) {
@@ -425,6 +592,7 @@ OracleReport run_oracles(const ScenarioCase& c, const OracleOptions& options) {
     run_quiescent_oracles(c, options, mapper, local, depth, report);
   } else {
     run_faulted_oracles(c, options, mapper, depth, report);
+    run_incremental_oracle(c, options, mapper, depth, report);
   }
   return report;
 }

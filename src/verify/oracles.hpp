@@ -43,6 +43,16 @@
 //                     fault landing inside [stable_since, elapsed] — the
 //                     session's blind window, where no mapper could have
 //                     observed the change.
+//  * incremental-equiv — for the same flap-free faulted cases, run after
+//                     the timeline settles (clock based past the last
+//                     event): an IncrementalMapper sweep restricted to the
+//                     dirty region (the switches the fault events touch,
+//                     expanded by dirty_radius) and spliced into the
+//                     pre-fault map must be Theorem-1 isomorphic to the
+//                     from-scratch map of the surviving fabric at the same
+//                     instant — and, when the dirty region is a strict
+//                     subset of the fabric's switches, strictly cheaper in
+//                     probes than that from-scratch remap.
 //
 // Oracles that do not apply to a case (Myricom under circuit switching,
 // deadlock on a switchless map, iso under flapping links) are recorded as
@@ -65,7 +75,7 @@ struct Violation {
   /// "deadlock-differential", "routing-crash", "analysis-clean",
   /// "analysis-deadlock-diff", "analysis-certificate", "analysis-crash",
   /// "conservation", "pipeline-equiv", "pipeline-crash", "robust-iso",
-  /// "robust-crash".
+  /// "robust-crash", "incremental-equiv", "incremental-crash".
   std::string oracle;
   std::string detail;
 };
@@ -90,6 +100,11 @@ struct OracleOptions {
   bool conservation = true;
   bool pipeline = true;
   bool robust = true;
+  bool incremental = true;
+
+  /// incremental-equiv: BFS expansion around the event-touched switches
+  /// when deriving the dirty region (mirrors RefreshConfig::dirty_radius).
+  int dirty_radius = 1;
 
   /// Plumbed into MapperConfig::sabotage_skip_merges: breaks the mapper on
   /// purpose so the fuzzer's catch-and-minimize path can be verified.

@@ -1,0 +1,275 @@
+// ChurnGenerator: the spec grammar, compilation determinism, immunity, and
+// the bounded-burst guarantee (a flapburst clause must *end*, unlike a raw
+// FaultSchedule flap).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/sim_time.hpp"
+#include "simnet/churn.hpp"
+#include "simnet/fault_schedule.hpp"
+#include "topology/generators.hpp"
+
+namespace sanmap {
+namespace {
+
+using common::SimTime;
+using simnet::ChurnClause;
+using simnet::ChurnGenerator;
+using simnet::ChurnSpec;
+using simnet::FaultSchedule;
+using topo::NodeId;
+using topo::Topology;
+
+// ---------------------------------------------------------------- grammar --
+
+TEST(ChurnSpec, ParsesEveryClauseKindAndRoundTrips) {
+  const std::string text =
+      "rolling(start=100,every=200,down=50,count=8);"
+      "outage(at=500,switches=3,down=100);"
+      "flapburst(at=300,span=200,period=8,duty=0.25,wires=2);"
+      "hostchurn(start=400,every=150,down=75,count=6)";
+  const ChurnSpec spec = simnet::parse_churn_spec(text);
+  ASSERT_EQ(spec.clauses.size(), 4u);
+  EXPECT_EQ(spec.clauses[0].kind, ChurnClause::Kind::kRolling);
+  EXPECT_EQ(spec.clauses[0].at, SimTime::ms(100));
+  EXPECT_EQ(spec.clauses[0].every, SimTime::ms(200));
+  EXPECT_EQ(spec.clauses[0].down, SimTime::ms(50));
+  EXPECT_EQ(spec.clauses[0].count, 8);
+  EXPECT_EQ(spec.clauses[1].kind, ChurnClause::Kind::kOutage);
+  EXPECT_EQ(spec.clauses[1].count, 3);
+  EXPECT_EQ(spec.clauses[2].kind, ChurnClause::Kind::kFlapBurst);
+  EXPECT_DOUBLE_EQ(spec.clauses[2].duty, 0.25);
+  EXPECT_EQ(spec.clauses[3].kind, ChurnClause::Kind::kHostChurn);
+
+  // The canonical form parses back to the same clauses.
+  const ChurnSpec again = simnet::parse_churn_spec(to_string(spec));
+  ASSERT_EQ(again.clauses.size(), spec.clauses.size());
+  for (std::size_t i = 0; i < spec.clauses.size(); ++i) {
+    EXPECT_EQ(again.clauses[i].kind, spec.clauses[i].kind) << i;
+    EXPECT_EQ(again.clauses[i].at, spec.clauses[i].at) << i;
+    EXPECT_EQ(again.clauses[i].every, spec.clauses[i].every) << i;
+    EXPECT_EQ(again.clauses[i].down, spec.clauses[i].down) << i;
+    EXPECT_EQ(again.clauses[i].period, spec.clauses[i].period) << i;
+    EXPECT_EQ(again.clauses[i].span, spec.clauses[i].span) << i;
+    EXPECT_DOUBLE_EQ(again.clauses[i].duty, spec.clauses[i].duty) << i;
+    EXPECT_EQ(again.clauses[i].count, spec.clauses[i].count) << i;
+  }
+}
+
+TEST(ChurnSpec, DurationUnitsDefaultToMilliseconds) {
+  const ChurnSpec spec = simnet::parse_churn_spec(
+      "flapburst(at=2s,span=500ms,period=750us,duty=0.5,wires=1)");
+  ASSERT_EQ(spec.clauses.size(), 1u);
+  EXPECT_EQ(spec.clauses[0].at, SimTime::seconds(2));
+  EXPECT_EQ(spec.clauses[0].span, SimTime::ms(500));
+  EXPECT_EQ(spec.clauses[0].period, SimTime::us(750));
+}
+
+TEST(ChurnSpec, RejectsMalformedClauses) {
+  EXPECT_THROW(simnet::parse_churn_spec("meteor(at=1)"), std::runtime_error);
+  EXPECT_THROW(simnet::parse_churn_spec("rolling(start=1wk)"),
+               std::runtime_error);  // unknown duration unit
+  EXPECT_THROW(simnet::parse_churn_spec("rolling(orbit=3)"),
+               std::runtime_error);  // unknown key
+  EXPECT_THROW(
+      simnet::parse_churn_spec("rolling(start=1,every=0,down=1,count=1)"),
+      std::runtime_error);  // wave spacing must be positive
+  EXPECT_THROW(
+      simnet::parse_churn_spec(
+          "flapburst(at=1,span=5,period=10,duty=0.5,wires=1)"),
+      std::runtime_error);  // span shorter than one period
+  EXPECT_THROW(
+      simnet::parse_churn_spec(
+          "flapburst(at=1,span=50,period=10,duty=1.5,wires=1)"),
+      std::runtime_error);  // duty outside [0, 1]
+  EXPECT_THROW(simnet::parse_churn_spec("outage(at=1,switches=0,down=1)"),
+               std::runtime_error);  // zero targets
+}
+
+TEST(ChurnSpec, HorizonCoversTheLastScheduledTransition) {
+  const ChurnSpec spec = simnet::parse_churn_spec(
+      "rolling(start=100,every=200,down=50,count=3);"
+      "outage(at=900,switches=1,down=300)");
+  // rolling: last wave at 100 + 2*200 = 500, revived at 550;
+  // outage: revived at 1200 — the horizon.
+  EXPECT_EQ(spec.horizon(8), SimTime::ms(1200));
+}
+
+TEST(ChurnSpec, ShiftedMovesEveryClauseStart) {
+  const ChurnSpec spec = simnet::parse_churn_spec(
+      "rolling(start=100,every=200,down=50,count=2)");
+  const ChurnSpec moved = spec.shifted(SimTime::seconds(3));
+  ASSERT_EQ(moved.clauses.size(), 1u);
+  EXPECT_EQ(moved.clauses[0].at, SimTime::ms(3100));
+  EXPECT_EQ(moved.clauses[0].every, spec.clauses[0].every);
+  EXPECT_EQ(moved.horizon(4) - spec.horizon(4), SimTime::seconds(3));
+}
+
+// ------------------------------------------------------------ compilation --
+
+/// Samples the full liveness state (every node, every wire) at `at`.
+std::string state_at(const Topology& t, const FaultSchedule& schedule,
+                     SimTime at) {
+  std::string state;
+  for (const NodeId n : t.nodes()) {
+    state.push_back(schedule.node_up_at(n, at) ? 'u' : 'd');
+  }
+  for (const topo::WireId w : t.wires()) {
+    state.push_back(schedule.wire_up_at(t, w, at) ? 'U' : 'D');
+  }
+  return state;
+}
+
+TEST(ChurnGenerator, CompilationIsDeterministicPerSeed) {
+  const Topology t = topo::mesh(3, 3, 1);
+  const ChurnSpec spec = simnet::parse_churn_spec(
+      "rolling(start=10,every=20,down=5,count=6);"
+      "hostchurn(start=15,every=20,down=5,count=4)");
+  const FaultSchedule a = ChurnGenerator(spec, 42).compile(t);
+  const FaultSchedule b = ChurnGenerator(spec, 42).compile(t);
+  EXPECT_EQ(a.events(), b.events());
+  for (int ms = 0; ms <= 150; ms += 1) {
+    EXPECT_EQ(state_at(t, a, SimTime::ms(ms)), state_at(t, b, SimTime::ms(ms)))
+        << "diverged at " << ms << "ms";
+  }
+}
+
+TEST(ChurnGenerator, ImmuneNodesAndTheirAccessSwitchesAreNeverTouched) {
+  const Topology t = topo::mesh(3, 3, 1);
+  const NodeId master = t.hosts().front();
+  const NodeId access = t.neighbors(master).front().node;
+  // A full cycle over every eligible switch and host, plus an outage: with
+  // the master immune, its access switch and the master itself must stay up
+  // through the whole horizon.
+  const ChurnSpec spec = simnet::parse_churn_spec(
+      "rolling(start=10,every=20,down=1000,count=0);"
+      "hostchurn(start=10,every=20,down=1000,count=0);"
+      "outage(at=15,switches=2,down=1000)");
+  const FaultSchedule schedule =
+      ChurnGenerator(spec, 7).compile(t, {master});
+  for (int ms = 0; ms <= 1500; ms += 5) {
+    EXPECT_TRUE(schedule.node_up_at(master, SimTime::ms(ms))) << ms;
+    EXPECT_TRUE(schedule.node_up_at(access, SimTime::ms(ms))) << ms;
+  }
+  // Everything else was hit at least once: every wave starts by
+  // 10 + 7*20 = 150ms, so a sweep of the first 400ms sees each target down.
+  const auto went_down = [&](NodeId n) {
+    for (int ms = 0; ms <= 400; ++ms) {
+      if (!schedule.node_up_at(n, SimTime::ms(ms))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const NodeId s : t.switches()) {
+    if (s != access) {
+      EXPECT_TRUE(went_down(s)) << "switch " << s << " was never maintained";
+    }
+  }
+  for (const NodeId h : t.hosts()) {
+    if (h != master) {
+      EXPECT_TRUE(went_down(h)) << "host " << h << " never churned";
+    }
+  }
+}
+
+TEST(ChurnGenerator, RollingCountZeroCyclesEveryEligibleSwitchOnce) {
+  const Topology t = topo::mesh(2, 2, 1);
+  // No immune set: all 4 switches are eligible. One wave each, down+up.
+  const ChurnSpec spec = simnet::parse_churn_spec(
+      "rolling(start=10,every=20,down=5,count=0)");
+  const FaultSchedule schedule = ChurnGenerator(spec, 3).compile(t);
+  EXPECT_EQ(schedule.events(), 2u * 4u);
+  for (const NodeId s : t.switches()) {
+    bool went_down = false;
+    for (int ms = 0; ms <= 100 && !went_down; ++ms) {
+      went_down = !schedule.node_up_at(s, SimTime::ms(ms));
+    }
+    EXPECT_TRUE(went_down) << "switch " << s << " was never maintained";
+    EXPECT_TRUE(schedule.node_up_at(s, SimTime::ms(200))) << "switch " << s;
+  }
+}
+
+TEST(ChurnGenerator, FlapBurstEndsUnlikeARawFlap) {
+  const Topology t = topo::mesh(3, 3, 1);
+  const ChurnSpec spec = simnet::parse_churn_spec(
+      "flapburst(at=100,span=100,period=10,duty=0.5,wires=2)");
+  const FaultSchedule schedule = ChurnGenerator(spec, 11).compile(t);
+  EXPECT_FALSE(schedule.empty());
+
+  bool saw_down = false;
+  for (int ms = 100; ms < 200 && !saw_down; ++ms) {
+    for (const topo::WireId w : t.wires()) {
+      if (!schedule.wire_up_at(t, w, SimTime::ms(ms))) {
+        saw_down = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_down) << "the burst never took a wire down";
+
+  // Past at+span the burst is over — forever. A FaultSchedule flap would
+  // still be cycling at any of these instants.
+  for (const int ms : {200, 205, 333, 1000, 100000}) {
+    for (const topo::WireId w : t.wires()) {
+      EXPECT_TRUE(schedule.wire_up_at(t, w, SimTime::ms(ms)))
+          << "wire " << w << " still flapping at " << ms << "ms";
+    }
+  }
+}
+
+TEST(ChurnGenerator, DutyEdgesAreAlwaysDownAndAlwaysUp) {
+  const Topology t = topo::mesh(3, 3, 1);
+  // duty=1: the wire is up for the full period — no transitions at all.
+  const FaultSchedule up = ChurnGenerator(
+      simnet::parse_churn_spec(
+          "flapburst(at=50,span=100,period=10,duty=1.0,wires=3)"),
+      5).compile(t);
+  EXPECT_TRUE(up.empty());
+
+  // duty=0: the chosen wires are down for the whole span, up after it.
+  const FaultSchedule down = ChurnGenerator(
+      simnet::parse_churn_spec(
+          "flapburst(at=50,span=100,period=10,duty=0.0,wires=1)"),
+      5).compile(t);
+  int down_wires = 0;
+  for (const topo::WireId w : t.wires()) {
+    bool all_down = true;
+    for (int ms = 50; ms < 150; ms += 3) {
+      all_down = all_down && !down.wire_up_at(t, w, SimTime::ms(ms));
+    }
+    down_wires += all_down ? 1 : 0;
+    EXPECT_TRUE(down.wire_up_at(t, w, SimTime::ms(151))) << w;
+  }
+  EXPECT_EQ(down_wires, 1);
+}
+
+TEST(ChurnGenerator, PermanentOutageNeverRevives) {
+  const Topology t = topo::mesh(3, 3, 1);
+  const FaultSchedule schedule = ChurnGenerator(
+      simnet::parse_churn_spec("outage(at=100,switches=2,down=0)"),
+      9).compile(t);
+  int dead = 0;
+  for (const NodeId s : t.switches()) {
+    if (!schedule.node_up_at(s, SimTime::seconds(1000))) {
+      ++dead;
+    }
+  }
+  EXPECT_EQ(dead, 2);
+}
+
+TEST(ChurnGenerator, ThrowsWhenNoTargetIsEligible) {
+  // One switch, one host, and the host is immune — the switch is its access
+  // switch, so a switch-targeting clause has nothing to hit.
+  Topology t;
+  const NodeId s = t.add_switch();
+  const NodeId h = t.add_host("h");
+  t.connect(h, 0, s, 0);
+  const ChurnSpec spec =
+      simnet::parse_churn_spec("rolling(start=1,every=2,down=1,count=1)");
+  EXPECT_THROW(ChurnGenerator(spec, 1).compile(t, {h}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sanmap

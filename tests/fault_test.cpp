@@ -90,6 +90,67 @@ TEST(FaultSchedule, FlapFollowsDutyCycleFromItsStart) {
   EXPECT_FALSE(schedule.wire_up_at(t, w, SimTime::ms(11) + SimTime::us(700)));
 }
 
+TEST(FaultSchedule, DutyCycleEdgesPinTheWireDownOrUp) {
+  Topology t;
+  const NodeId h = t.add_host("h");
+  const NodeId s = t.add_switch();
+  const WireId w = t.connect(h, 0, s, 0);
+
+  // duty 0.0: the up span is empty — the wire is down from the flap's
+  // start onward, at every phase of the period.
+  simnet::FaultSchedule always_down;
+  always_down.flapping_link(w, SimTime::ms(1), 0.0, SimTime::ms(10));
+  EXPECT_TRUE(always_down.wire_up_at(t, w, SimTime::ms(9)));
+  for (int us = 0; us <= 3000; us += 37) {
+    EXPECT_FALSE(
+        always_down.wire_up_at(t, w, SimTime::ms(10) + SimTime::us(us)))
+        << us;
+  }
+
+  // duty 1.0: the down span is empty — the flap never takes the wire out.
+  simnet::FaultSchedule always_up;
+  always_up.flapping_link(w, SimTime::ms(1), 1.0, SimTime::ms(10));
+  for (int us = 0; us <= 3000; us += 37) {
+    EXPECT_TRUE(always_up.wire_up_at(t, w, SimTime::ms(10) + SimTime::us(us)))
+        << us;
+  }
+}
+
+TEST(FaultSchedule, NodeRevivalRestoresIncidentWireLiveness) {
+  Topology t;
+  const NodeId h0 = t.add_host("h0");
+  const NodeId h1 = t.add_host("h1");
+  const NodeId s0 = t.add_switch();
+  const NodeId s1 = t.add_switch();
+  t.connect(h0, 0, s0, 0);
+  const WireId wss = t.connect(s0, 1, s1, 0);
+  const WireId wh1 = t.connect(s1, 1, h1, 0);
+
+  simnet::FaultSchedule schedule;
+  schedule.node_down(s1, SimTime::ms(2));
+  schedule.node_up(s1, SimTime::ms(5));
+
+  // While dead, the node's wires are down and surviving() drops the node.
+  EXPECT_FALSE(schedule.wire_up_at(t, wss, SimTime::ms(3)));
+  EXPECT_FALSE(schedule.wire_up_at(t, wh1, SimTime::ms(3)));
+  EXPECT_FALSE(schedule.surviving(t, SimTime::ms(3)).node_alive(s1));
+
+  // Revival restores every incident wire — liveness comes back from the
+  // node state alone, with no per-wire link_up events — and surviving()
+  // is structurally the original fabric again.
+  EXPECT_TRUE(schedule.wire_up_at(t, wss, SimTime::ms(5)));
+  EXPECT_TRUE(schedule.wire_up_at(t, wh1, SimTime::ms(5)));
+  EXPECT_TRUE(schedule.surviving(t, SimTime::ms(5)).structurally_equal(t));
+
+  // Unless a wire had its own down transition while the node was dead:
+  // that wire needs its own link_up.
+  schedule.link_down(wh1, SimTime::ms(3));
+  EXPECT_TRUE(schedule.wire_up_at(t, wss, SimTime::ms(6)));
+  EXPECT_FALSE(schedule.wire_up_at(t, wh1, SimTime::ms(6)));
+  schedule.link_up(wh1, SimTime::ms(7));
+  EXPECT_TRUE(schedule.wire_up_at(t, wh1, SimTime::ms(7)));
+}
+
 TEST(FaultSchedule, NodeDeathTakesIncidentWiresDown) {
   Topology t;
   const NodeId h0 = t.add_host("h0");

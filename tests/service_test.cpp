@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "routing/route_health.hpp"
@@ -249,6 +250,55 @@ TEST(RouteQueryEngine, BatchFansOutOverThePool) {
   EXPECT_EQ(engine.misses(), 1u);
 }
 
+TEST(RouteQueryEngine, QuarantineWithholdsRoutesAndStaleAgeIsObservable) {
+  const Topology t = topo::torus(3, 3, 1);
+  MapCatalog catalog;
+  catalog.publish(make_snapshot(t));  // created_at == 0
+  const RouteQueryEngine engine(catalog);
+  const std::string src = t.name(t.hosts()[0]);
+  const std::string dst = t.name(t.hosts()[5]);
+
+  // Fresh: answered, and stale_age is zero regardless of checked_at — a
+  // snapshot that passed its last health check still describes the fabric.
+  MapCatalog::HealthStatus fresh;
+  fresh.checked_at = SimTime::ms(250);
+  catalog.set_health(fresh);
+  const RouteAnswer before = engine.route(src, dst);
+  ASSERT_TRUE(before.found);
+  EXPECT_EQ(before.status, QueryStatus::kOk);
+  EXPECT_EQ(before.stale_age, SimTime{});
+
+  // Quarantine every switch: any route crosses the dirty region, so the
+  // query is refused as kDegraded (not kNotFound) and the reader can see
+  // how far the fabric has moved past the snapshot it is being served.
+  MapCatalog::HealthStatus degraded;
+  degraded.state = MapCatalog::HealthState::kDegraded;
+  degraded.checked_at = SimTime::ms(250);
+  for (const NodeId s : t.switches()) {
+    degraded.quarantined.push_back(t.name(s));
+  }
+  catalog.set_health(degraded);
+
+  const RouteAnswer withheld = engine.route(src, dst);
+  EXPECT_FALSE(withheld.found);
+  EXPECT_EQ(withheld.status, QueryStatus::kDegraded);
+  EXPECT_TRUE(withheld.turns.empty());
+  EXPECT_EQ(withheld.stale_age, SimTime::ms(250));
+  EXPECT_EQ(engine.degraded(), 1u);
+  EXPECT_EQ(engine.misses(), 1u);
+
+  // An unknown host under quarantine is still a plain miss, not degraded.
+  EXPECT_FALSE(engine.route("phantom", dst).found);
+  EXPECT_EQ(engine.degraded(), 1u);
+
+  // Publishing a new epoch resets health: serving is trusted again.
+  catalog.publish(make_snapshot(t, 2));
+  const RouteAnswer healed = engine.route(src, dst);
+  ASSERT_TRUE(healed.found);
+  EXPECT_EQ(healed.status, QueryStatus::kOk);
+  EXPECT_EQ(healed.stale_age, SimTime{});
+}
+
 // ------------------------------------------------------------ concurrency --
 
 TEST(ServiceConcurrency, ReadersOnlyEverSeePublishedEpochs) {
@@ -343,9 +393,13 @@ TEST(ServiceConcurrency, QueriesContinueWhileTheRefreshLoopSwapsEpochs) {
     const auto answers = engine.run_batch(queries, pool, /*chunk_size=*/8);
     ++batches;
     for (const RouteAnswer& answer : answers) {
-      // Every host survives the redundant-link death, so every query stays
-      // answerable through every epoch — no torn reads, no outage window.
-      ASSERT_TRUE(answer.found);
+      // Every host survives the redundant-link death, so no query is ever
+      // a miss — but while a repair is in flight the loop quarantines the
+      // dirty region, so an answer may be transiently withheld as
+      // kDegraded. What must never happen: a torn read (kNotFound for a
+      // host that exists) or an answer from an unpublished epoch.
+      ASSERT_TRUE(answer.found ||
+                  answer.status == QueryStatus::kDegraded);
       ASSERT_GT(answer.epoch, 0u);
     }
     const std::uint64_t epoch = catalog.epoch();
@@ -360,6 +414,67 @@ TEST(ServiceConcurrency, QueriesContinueWhileTheRefreshLoopSwapsEpochs) {
   EXPECT_GE(swaps_observed, 1u);
   EXPECT_GE(catalog.epoch(), 2u);  // bootstrap + at least one heal
   EXPECT_EQ(catalog.stats().rejected_unsafe, 0u);
+}
+
+TEST(ServiceConcurrency, HistoryEvictionRacesEpochReaders) {
+  // A tight history window forces an eviction on nearly every publish while
+  // readers hammer at_epoch()/history_epochs() from other threads. TSan's
+  // job: the deque mutation and the reader loads must never race; a reader
+  // either gets null (evicted) or a fully published snapshot whose epoch
+  // matches what it asked for — and a held SnapshotPtr outlives eviction.
+  const Topology t = topo::torus(3, 3, 1);
+  MapCatalog catalog(/*history_limit=*/2);
+  catalog.publish(make_snapshot(t, 1));
+  const SnapshotPtr pinned = catalog.at_epoch(1);
+  ASSERT_NE(pinned, nullptr);
+
+  constexpr std::uint64_t kEpochs = 60;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (std::uint64_t i = 2; i <= kEpochs; ++i) {
+      ASSERT_TRUE(
+          catalog.publish_if_current(make_snapshot(t, i), i - 1).published());
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t hits = 0;
+      do {  // at least one pass even if the writer wins the startup race
+        const std::uint64_t current = catalog.epoch();
+        // Chase the eviction edge: the freshly published epoch is always
+        // resident, the one history_limit back is being pushed out.
+        for (std::uint64_t e = current; e > 0 && e + 3 > current; --e) {
+          const SnapshotPtr snap = catalog.at_epoch(e);
+          if (snap != nullptr) {
+            ASSERT_EQ(snap->epoch, e);
+            ASSERT_EQ(snap->options.route_seed, e);
+            ASSERT_TRUE(snap->deadlock_free);
+            ++hits;
+          }
+        }
+        const auto epochs = catalog.history_epochs();
+        ASSERT_LE(epochs.size(), 2u);
+        for (std::size_t i = 1; i < epochs.size(); ++i) {
+          ASSERT_LT(epochs[i - 1], epochs[i]);
+        }
+      } while (!done.load(std::memory_order_acquire));
+      ASSERT_GT(hits, 0u);
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+
+  // Epoch 1 was evicted dozens of publishes ago; the pinned reference kept
+  // the snapshot itself alive and intact.
+  EXPECT_EQ(catalog.at_epoch(1), nullptr);
+  EXPECT_EQ(pinned->epoch, 1u);
+  EXPECT_EQ(pinned->options.route_seed, 1u);
+  EXPECT_EQ(catalog.epoch(), kEpochs);
 }
 
 // ------------------------------------------------------------ refresh loop --
@@ -384,8 +499,54 @@ TEST(RefreshLoop, QuietTicksObserveWithoutRepublishing) {
     EXPECT_FALSE(report.remapped);
     EXPECT_EQ(report.routes_checked, 72u);
     EXPECT_EQ(report.broken, 0u);
+    // An observation-only tick never tried to publish — and must not look
+    // like a successful one (kNotAttempted, not a stale kPublished; no
+    // phantom "distribution complete").
+    EXPECT_EQ(report.publish_status, TickPublish::kNotAttempted);
+    EXPECT_FALSE(report.distribution_complete);
+    EXPECT_EQ(report.remap, RemapKind::kNone);
+    EXPECT_EQ(report.health, MapCatalog::HealthState::kFresh);
   }
   EXPECT_EQ(catalog.epoch(), 1u);
+}
+
+TEST(RefreshLoop, RejectsInvalidConfigAtConstruction) {
+  const Topology t = topo::torus(3, 3, 1);
+  simnet::Network net(t);
+  MapCatalog catalog;
+
+  RefreshConfig good;
+  good.master_name = t.name(t.hosts().front());
+
+  {
+    RefreshConfig bad = good;
+    bad.master_name.clear();
+    EXPECT_THROW(RefreshLoop(net, catalog, bad), common::CheckFailure);
+  }
+  {
+    RefreshConfig bad = good;
+    bad.check_interval = SimTime{};
+    EXPECT_THROW(RefreshLoop(net, catalog, bad), common::CheckFailure);
+  }
+  {
+    RefreshConfig bad = good;
+    bad.dirty_radius = -1;
+    EXPECT_THROW(RefreshLoop(net, catalog, bad), common::CheckFailure);
+  }
+  {
+    RefreshConfig bad = good;
+    bad.budget_horizon = SimTime{};
+    EXPECT_THROW(RefreshLoop(net, catalog, bad), common::CheckFailure);
+  }
+  // A master that is not in the fabric fails too — at construction, not on
+  // the first tick.
+  {
+    RefreshConfig bad = good;
+    bad.master_name = "no-such-host";
+    EXPECT_THROW(RefreshLoop(net, catalog, bad), common::CheckFailure);
+  }
+  // The baseline really is valid: same config, no throw.
+  EXPECT_NO_THROW(RefreshLoop(net, catalog, good));
 }
 
 TEST(RefreshLoop, LinkDeathTriggersRemapVerifySwap) {
@@ -409,8 +570,7 @@ TEST(RefreshLoop, LinkDeathTriggersRemapVerifySwap) {
     if (report.swapped()) {
       EXPECT_GT(report.broken, 0u);
       EXPECT_TRUE(report.remapped);
-      EXPECT_EQ(report.publish_status,
-                MapCatalog::PublishStatus::kPublished);
+      EXPECT_EQ(report.publish_status, TickPublish::kPublished);
       healed = true;
     }
   }

@@ -13,6 +13,7 @@
 //  * fuzzer — a small fixed-seed campaign is clean and deterministic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
@@ -147,6 +148,86 @@ TEST(Oracles, ReportsSkipsForInapplicableChecks) {
   const OracleReport report = run_oracles(c);
   EXPECT_TRUE(report.ok()) << report.summary();
   EXPECT_FALSE(report.skipped.empty());
+}
+
+/// A torus case with one dead switch (redundant fabric, localized fault) —
+/// the bread-and-butter input of the incremental-equiv oracle.
+ScenarioCase dead_switch_case() {
+  ScenarioCase c;
+  c.name = "one-dead-switch";
+  c.network = topo::torus(3, 3, 1);
+  c.mapper_host = c.network.name(c.network.hosts().front());
+  c.faults.push_back(FaultEvent{FaultEvent::Kind::kNodeDown,
+                                topo::kInvalidWire,
+                                c.network.switches().back(),
+                                common::SimTime::ms(2), common::SimTime{},
+                                0.0});
+  return c;
+}
+
+TEST(Oracles, IncrementalEquivalenceHoldsOnALocalizedFault) {
+  // One dead switch on a redundant torus: the spliced incremental repair
+  // must be Theorem-1 isomorphic to the surviving core AND strictly cheaper
+  // in probes than a from-scratch remap — the dirty-region serving
+  // contract. A violation of either half fails ok().
+  const OracleReport report = run_oracles(dead_switch_case());
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // The oracle actually ran: no incremental-equiv skip entry.
+  for (const std::string& skip : report.skipped) {
+    EXPECT_EQ(skip.find("incremental-equiv"), std::string::npos) << skip;
+  }
+}
+
+TEST(Oracles, IncrementalEquivalenceSkipsWhereItCannotJudge) {
+  // Disabled explicitly.
+  OracleOptions off;
+  off.incremental = false;
+  const OracleReport disabled = run_oracles(dead_switch_case(), off);
+  EXPECT_TRUE(disabled.ok()) << disabled.summary();
+  EXPECT_TRUE(std::any_of(disabled.skipped.begin(), disabled.skipped.end(),
+                          [](const std::string& s) {
+                            return s == "incremental-equiv: disabled";
+                          }))
+      << disabled.summary();
+
+  // A flapping wire has no settled instant to compare at.
+  ScenarioCase flappy = dead_switch_case();
+  flappy.faults.push_back(FaultEvent{FaultEvent::Kind::kFlap,
+                                     flappy.network.wires().front(),
+                                     topo::kInvalidNode, common::SimTime::ms(1),
+                                     common::SimTime::us(500), 0.5});
+  const OracleReport flapped = run_oracles(flappy);
+  EXPECT_TRUE(std::any_of(flapped.skipped.begin(), flapped.skipped.end(),
+                          [](const std::string& s) {
+                            return s == "incremental-equiv: flapping timeline";
+                          }))
+      << flapped.summary();
+}
+
+TEST(Oracles, IncrementalRepairSurvivesSkippedMerges) {
+  // Skipping interleaved merges corrupts the from-scratch mappers (see
+  // SabotagedMapperIsCaught) but NOT the dirty-region repair: the repair
+  // ends with an unconditional model.stabilize(), so deferred deductions
+  // still collapse duplicate vertices before extraction. This pins that
+  // final stabilize — remove it and the spliced map grows duplicates on
+  // this multipath fabric, the equivalence oracle fires, and ok() flips.
+  OracleOptions options;
+  options.sabotage_skip_merges = true;
+  options.dirty_radius = 4;  // repair re-explores most of the fabric
+  ScenarioCase c;
+  c.name = "sabotaged-splice";
+  c.network = topo::fat_tree({.levels = 2, .leaf_switches = 3,
+                             .switches_per_upper_level = 2,
+                             .hosts_per_leaf = 2, .uplinks = 2});
+  c.mapper_host = c.network.name(c.network.hosts().front());
+  c.faults.push_back(FaultEvent{FaultEvent::Kind::kNodeDown,
+                                topo::kInvalidWire,
+                                c.network.switches().back(),
+                                common::SimTime::ms(2), common::SimTime{},
+                                0.0});
+  const OracleReport report = run_oracles(c, options);
+  EXPECT_FALSE(report.violates("incremental-equiv")) << report.summary();
+  EXPECT_FALSE(report.violates("incremental-crash")) << report.summary();
 }
 
 // ---------------------------------------------------------- Kahn detector --

@@ -13,7 +13,8 @@
 //                 [--sabotage-turn]
 //   sanmap dot    --in FILE [--out FILE]
 //   sanmap serve  --in FILE [--master HOST] [--ticks N] [--interval-ms M]
-//                 [--faults SPEC] [--snapshot-out FILE]
+//                 [--faults SPEC | --churn SPEC [--churn-seed N]]
+//                 [--snapshot-out FILE]
 //   sanmap query  --snapshot FILE [--src HOST --dst HOST] [--sample N]
 //
 // Files use the "sanmap topology v1" text format (see
@@ -41,6 +42,7 @@
 #include "service/query_engine.hpp"
 #include "service/refresh_loop.hpp"
 #include "service/snapshot_codec.hpp"
+#include "simnet/churn.hpp"
 #include "simnet/fault_schedule.hpp"
 #include "simnet/network.hpp"
 #include "topology/algorithms.hpp"
@@ -415,16 +417,28 @@ int cmd_serve(int argc, const char* const* argv) {
   flags.define("faults", "",
                "fault timeline, e.g. link-down:4@150,node-down:h3@200,"
                "flap:7@64x0.5");
+  flags.define("churn", "",
+               "churn scenario, e.g. "
+               "\"rolling(start=1s,every=5s,down=2s,count=4)\" — compiled "
+               "into a fault schedule anchored after bootstrap (grammar: "
+               "src/simnet/churn.hpp)");
+  flags.define("churn-seed", "1", "churn target-selection seed");
   flags.define("snapshot-out", "", "write the final snapshot here (binary)");
   if (!flags.parse(argc, argv)) {
     return 0;
   }
   const topo::Topology t = read_input(flags.get("in"));
   const topo::NodeId master = pick_mapper(t, flags.get("master"));
+  if (!flags.get("churn").empty() && !flags.get("faults").empty()) {
+    throw std::runtime_error("serve: --faults and --churn are exclusive "
+                             "(a churn scenario compiles its own timeline)");
+  }
   const simnet::FaultSchedule schedule = parse_faults(flags.get("faults"), t);
 
   simnet::Network net(t);
-  net.attach_faults(&schedule);
+  if (flags.get("churn").empty()) {
+    net.attach_faults(&schedule);
+  }
   service::MapCatalog catalog;
   service::RefreshConfig config;
   config.master_name = t.name(master);
@@ -441,20 +455,44 @@ int cmd_serve(int argc, const char* const* argv) {
                                            : "DISTRIBUTION INCOMPLETE")
             << ")\n";
 
+  // Churn clauses are anchored after bootstrap (the loop's clock only
+  // starts once the fabric is mapped); the mapper host is immune, so the
+  // scenario can never take the service's own seat away.
+  simnet::FaultSchedule churn_schedule;
+  if (!flags.get("churn").empty()) {
+    const simnet::ChurnSpec spec =
+        simnet::parse_churn_spec(flags.get("churn"));
+    const simnet::ChurnGenerator generator(
+        spec.shifted(loop.now()),
+        static_cast<std::uint64_t>(flags.get_int("churn-seed")));
+    churn_schedule = generator.compile(t, {master});
+    net.attach_faults(&churn_schedule);
+    std::cerr << "churn     : " << churn_schedule.events()
+              << " fault events over "
+              << spec.horizon(t.num_switches()).str()
+              << " past bootstrap (seed " << flags.get_int("churn-seed")
+              << ")\n";
+  }
+
   common::Table table(
-      {"tick", "t", "checked", "broken", "action", "epoch"});
+      {"tick", "t", "checked", "broken", "action", "health", "epoch"});
   const std::int64_t ticks = flags.get_int("ticks");
   for (std::int64_t i = 0; i < ticks; ++i) {
     const auto report = loop.tick();
     std::string action = "observe";
-    if (report.remapped) {
-      action = report.swapped()
-                   ? "remap -> " + std::string(to_string(report.publish_status))
-                   : std::string(to_string(report.publish_status));
+    if (report.backoff_active) {
+      action = "backoff";
+    } else if (report.budget_exhausted) {
+      action = "budget";
+    } else if (report.remapped) {
+      action = std::string(to_string(report.remap)) +
+               (report.escalated ? "(escalated)" : "") + " -> " +
+               to_string(report.publish_status);
     }
     table.add_row({std::to_string(i), report.at.str(),
                    std::to_string(report.routes_checked),
                    std::to_string(report.broken), action,
+                   service::to_string(report.health),
                    std::to_string(report.epoch_after)});
   }
   std::cout << table;
