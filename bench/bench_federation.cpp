@@ -1,0 +1,141 @@
+// Sharded federated mapping: wall-clock, probe load, and boundary work vs
+// region count (DESIGN.md §13).
+//
+// A multi-pod fabric (pods of fig5-like leaf/root clusters joined by a
+// host-free spine layer) is mapped monolithically once, then federated
+// with regions ∈ {1, 2, 4, 8} (greedy auto-partitioning anchored at the
+// canonical mapper host). For every run the bench records the simulated
+// wall-clock (max over the concurrent region sessions plus the merge
+// charge), the total probe load across regions, and the boundary work
+// (switches the partitioner put on region boundaries, cross-region fusions
+// the boundary resolver performed).
+//
+// Self-gating acceptance criteria — any miss exits nonzero so CI can run
+// this as a gate:
+//  * every merged map is Theorem-1 isomorphic to the monolithic map;
+//  * every federated result is certified (zero uncertified merged maps);
+//  * federation at 4 regions beats the monolithic wall-clock by >= 2x.
+//
+// Results are emitted to BENCH_federation.json via JsonReport.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "federation/federated_mapper.hpp"
+
+namespace {
+
+using namespace sanmap;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags;
+  flags.define("pods", "8", "multi-pod fabric size (>= 8 for the full sweep)");
+  flags.define("overlap", "2", "partition overlap margin");
+  flags.define("smoke", "false", "CI mode: sweep only 1 and 4 regions");
+  if (!flags.parse(argc, argv)) {
+    return 0;
+  }
+  const bool smoke = flags.get_bool("smoke");
+
+  // 8 pods forces pod_roots = 1 (the spine's 8-port budget); each pod root
+  // still reaches every spine, so no pod hangs off a bridge and the spine
+  // layer survives coring.
+  topo::MultiPodOptions shape;
+  shape.pods = static_cast<int>(flags.get_int("pods"));
+  shape.leaf_switches_per_pod = 4;
+  shape.pod_roots = 1;
+  shape.hosts_per_leaf = 2;
+  shape.uplinks = 1;
+  shape.spines = 2;
+  const topo::Topology fabric = topo::multi_pod(shape);
+  std::cout << "fabric: " << shape.pods << " pods, " << fabric.num_hosts()
+            << " hosts, " << fabric.num_switches() << " switches, "
+            << fabric.num_wires() << " links\n";
+
+  const mapper::MapResult mono = bench::run_berkeley(fabric);
+  const bool mono_ok = bench::verify(fabric, mono) == "ok";
+  std::cout << "monolithic: " << mono.probes.total() << " probes, "
+            << mono.elapsed.str() << (mono_ok ? "" : " (WRONG MAP)") << "\n\n";
+
+  const std::vector<int> sweep =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+
+  common::Table table({"regions", "wall-clock", "speedup", "probes",
+                       "boundary sw", "fusions", "iso", "certified"});
+  bench::JsonReport report("federation");
+  report.add("monolithic", "wallclock_ms", mono.elapsed.to_ms());
+  report.add("monolithic", "probes",
+             static_cast<double>(mono.probes.total()));
+
+  bool ok = mono_ok;
+  double speedup_at_4 = 0.0;
+  for (const int regions : sweep) {
+    federation::FederationConfig config;
+    config.spec.auto_regions = regions;
+    config.spec.anchor_host = fabric.name(bench::mapper_host_of(fabric));
+    config.partition.overlap_margin =
+        static_cast<int>(flags.get_int("overlap"));
+    federation::FederatedMapper federated(fabric, config);
+    const federation::FederatedResult result = federated.run();
+
+    const bool iso = topo::isomorphic(result.map, mono.map);
+    const double speedup = result.elapsed.to_ms() > 0.0
+                               ? mono.elapsed.to_ms() / result.elapsed.to_ms()
+                               : 0.0;
+    if (regions == 4) {
+      speedup_at_4 = speedup;
+    }
+    const std::string name = "regions" + std::to_string(regions);
+    table.add_row({std::to_string(regions), result.elapsed.str(),
+                   common::fmt(speedup, 2) + "x",
+                   std::to_string(result.total_probes),
+                   std::to_string(result.boundary_switches),
+                   std::to_string(result.boundary_conflicts),
+                   iso ? "ok" : "WRONG",
+                   result.certified ? "yes" : "NO"});
+    report.add(name, "wallclock_ms", result.elapsed.to_ms());
+    report.add(name, "speedup", speedup);
+    report.add(name, "probes", static_cast<double>(result.total_probes));
+    report.add(name, "boundary_switches",
+               static_cast<double>(result.boundary_switches));
+    report.add(name, "boundary_conflicts",
+               static_cast<double>(result.boundary_conflicts));
+    report.add(name, "certified", result.certified ? 1 : 0);
+    report.add(name, "iso_to_monolithic", iso ? 1 : 0);
+
+    if (!iso) {
+      std::cerr << "regions=" << regions
+                << ": merged map is not isomorphic to the monolithic map\n";
+      ok = false;
+    }
+    if (!result.certified) {
+      std::cerr << "regions=" << regions << ": merged map UNCERTIFIED";
+      for (const std::string& reason : result.uncertified_reasons) {
+        std::cerr << "\n  - " << reason;
+      }
+      std::cerr << "\n";
+      ok = false;
+    }
+  }
+  std::cout << table << "\n";
+  report.add("gate", "speedup_at_4", speedup_at_4);
+  report.write();
+
+  if (speedup_at_4 < 2.0) {
+    std::cerr << "federation speedup at 4 regions " << speedup_at_4
+              << "x is below the 2x acceptance bar\n";
+    ok = false;
+  }
+  if (!ok) {
+    std::cerr << "federation benchmark gates FAILED\n";
+    return 1;
+  }
+  std::cout << "all region counts: isomorphic to monolithic, certified; "
+               "4-region speedup "
+            << common::fmt(speedup_at_4, 2) << "x\n";
+  return 0;
+}

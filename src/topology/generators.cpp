@@ -393,6 +393,68 @@ Topology fat_tree(const FatTreeOptions& options) {
   return topo;
 }
 
+Topology multi_pod(const MultiPodOptions& options) {
+  SANMAP_CHECK(options.pods >= 1);
+  SANMAP_CHECK(options.leaf_switches_per_pod >= 1);
+  SANMAP_CHECK(options.pod_roots >= 1);
+  SANMAP_CHECK(options.hosts_per_leaf >= 1);
+  SANMAP_CHECK(options.uplinks >= 1);
+  SANMAP_CHECK(options.spines >= 1);
+  // Port budgets (8-port switches): spines take one wire per pod root,
+  // pod roots take their share of leaf uplinks plus one wire per spine,
+  // leaves take hosts plus uplinks.
+  SANMAP_CHECK_MSG(options.pods * options.pod_roots <= 8,
+                   "multi_pod: spine ports exhausted");
+  SANMAP_CHECK_MSG(
+      (options.leaf_switches_per_pod * options.uplinks + options.pod_roots -
+       1) / options.pod_roots + options.spines <= 8,
+      "multi_pod: pod-root ports exhausted");
+  SANMAP_CHECK_MSG(options.hosts_per_leaf + options.uplinks <= 8,
+                   "multi_pod: leaf ports exhausted");
+  SANMAP_CHECK_MSG(options.uplinks >= 2 || options.pod_roots == 1,
+                   "multi_pod: uplinks >= 2 (or one pod root) keeps a pod "
+                   "connected at every size");
+  Topology topo;
+  std::vector<NodeId> spines;
+  for (int s = 0; s < options.spines; ++s) {
+    spines.push_back(topo.add_switch("spine" + std::to_string(s)));
+  }
+  for (int p = 0; p < options.pods; ++p) {
+    const std::string prefix = "P" + std::to_string(p) + ".";
+    std::vector<NodeId> roots;
+    for (int r = 0; r < options.pod_roots; ++r) {
+      roots.push_back(topo.add_switch(prefix + "R" + std::to_string(r)));
+    }
+    int host_index = 0;
+    for (int l = 0; l < options.leaf_switches_per_pod; ++l) {
+      const NodeId leaf = topo.add_switch(prefix + "L" + std::to_string(l));
+      for (int h = 0; h < options.hosts_per_leaf; ++h) {
+        const NodeId host =
+            topo.add_host(prefix + "h" + std::to_string(host_index++));
+        topo.connect_any(host, leaf);
+      }
+      // Same overlapping-window uplink spread as fat_tree: successive
+      // leaves shift by one root, so the pod stays connected at every size.
+      for (int u = 0; u < options.uplinks; ++u) {
+        for (std::size_t tries = 0; tries < roots.size(); ++tries) {
+          const NodeId target =
+              roots[(static_cast<std::size_t>(l + u) + tries) % roots.size()];
+          if (topo.free_port(leaf) && topo.free_port(target)) {
+            topo.connect_any(leaf, target);
+            break;
+          }
+        }
+      }
+    }
+    for (const NodeId root : roots) {
+      for (const NodeId spine : spines) {
+        topo.connect_any(root, spine);
+      }
+    }
+  }
+  return topo;
+}
+
 Topology random_irregular(int num_switches, int num_hosts, int extra_links,
                           common::Rng& rng) {
   SANMAP_CHECK(num_switches >= 1);

@@ -104,6 +104,25 @@ struct FatTreeOptions {
 };
 Topology fat_tree(const FatTreeOptions& options);
 
+/// A multi-pod cluster: `pods` fig5-like pods (leaf switches carrying
+/// hosts, uplinked to per-pod root switches) joined by a host-free spine
+/// layer — the canonical fabric with real region boundaries (every
+/// pod-root-to-spine wire crosses one). The federation bench and the
+/// federated-iso oracle sweep region counts over it.
+struct MultiPodOptions {
+  int pods = 3;
+  int leaf_switches_per_pod = 3;
+  int pod_roots = 2;
+  int hosts_per_leaf = 2;
+  /// Leaf-to-pod-root links per leaf (windowed round-robin, like fat_tree).
+  int uplinks = 2;
+  /// Spine switches; every pod root links to every spine, so
+  /// pods * pod_roots <= 8 and pod-root ports must fit
+  /// leaf uplinks + spines.
+  int spines = 2;
+};
+Topology multi_pod(const MultiPodOptions& options = {});
+
 /// Random connected irregular network: `num_switches` switches in a random
 /// spanning tree plus `extra_links` random extra switch-switch links, and
 /// `num_hosts` hosts attached to random switches with free ports. All port

@@ -113,6 +113,21 @@ std::vector<ScenarioCase> builtin_corpus() {
 
   corpus.push_back(make_case("parallel-cables", parallel_cable_net()));
 
+  // The federation workload: pods with real region boundaries joined by a
+  // host-free spine layer. Exercises the federated-iso oracle on the shape
+  // it was built for (and every other oracle on a spine whose switches sit
+  // two hops from their nearest host anchor).
+  {
+    topo::MultiPodOptions mp;
+    mp.pods = 3;
+    mp.leaf_switches_per_pod = 2;
+    mp.pod_roots = 2;
+    mp.hosts_per_leaf = 2;
+    mp.uplinks = 2;
+    mp.spines = 2;
+    corpus.push_back(make_case("multi-pod", topo::multi_pod(mp)));
+  }
+
   return corpus;
 }
 

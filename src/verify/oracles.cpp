@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "analysis/analyzer.hpp"
+#include "federation/federated_mapper.hpp"
 #include "mapper/berkeley_mapper.hpp"
 #include "mapper/incremental.hpp"
 #include "mapper/robust_mapper.hpp"
@@ -574,6 +575,92 @@ void run_incremental_oracle(const ScenarioCase& c, const OracleOptions& options,
   }
 }
 
+// Federated mapping loses nothing: shard the mapper's component into
+// auto-partitioned regions anchored at the mapper host, run the concurrent
+// per-region sessions plus boundary resolution, and demand the merged model
+// be Theorem-1 isomorphic to the monolithic truth core(C) — and certified.
+// For faulted (flap-free) cases the oracle runs over the settled surviving
+// fabric: the federation maps what the faults left standing, and the truth
+// is that fabric's core.
+void run_federated_oracle(const ScenarioCase& c, const OracleOptions& options,
+                          NodeId mapper, OracleReport& report) {
+  if (!options.federated) {
+    report.skipped.push_back("federated-iso: disabled");
+    return;
+  }
+  if (c.has_flap()) {
+    report.skipped.push_back(
+        "federated-iso: flapping timeline (no quiescent instant to shard at)");
+    return;
+  }
+  Topology fabric = c.network;
+  if (!c.quiescent()) {
+    const simnet::FaultSchedule schedule = c.schedule();
+    common::SimTime settle{};
+    for (const FaultEvent& event : c.faults) {
+      settle = std::max(settle, event.at);
+    }
+    settle += common::SimTime::ms(1);
+    fabric = schedule.surviving(c.network, settle);
+    if (mapper >= fabric.node_capacity() || !fabric.node_alive(mapper)) {
+      report.skipped.push_back("federated-iso: mapper host itself failed");
+      return;
+    }
+  }
+  const Topology local = component_of(fabric, mapper);
+  if (local.num_switches() == 0) {
+    report.skipped.push_back("federated-iso: switchless component");
+    return;
+  }
+
+  federation::FederationConfig config;
+  config.spec.auto_regions =
+      std::max(1, std::min(options.federated_regions,
+                           static_cast<int>(local.num_hosts())));
+  config.spec.anchor_host = fabric.name(mapper);
+  config.collision = c.collision;
+  config.max_explorations = options.max_explorations;
+  config.route_seed = options.route_seed;
+  config.sabotage_skip_merges = options.sabotage_skip_merges;
+
+  bool have_result = false;
+  federation::FederatedResult result;
+  try {
+    federation::FederatedMapper federated(fabric, config);
+    result = federated.run();
+    have_result = true;
+  } catch (const std::exception& e) {
+    report.violations.push_back({"federated-crash", e.what()});
+  }
+  if (!have_result) {
+    return;
+  }
+
+  const Topology truth = topo::core(local);
+  if (!topo::isomorphic(result.map, truth)) {
+    report.violations.push_back(
+        {"federated-iso",
+         "merged map " + describe(result.map) +
+             " is not isomorphic to the monolithic core " + describe(truth) +
+             " (" + std::to_string(result.regions.size()) + " regions, " +
+             std::to_string(result.boundary_conflicts) +
+             " boundary fusions)"});
+    return;
+  }
+  // A correct merge must also certify: the truth core is connected and
+  // routable, so any uncertified_reason here is a federation bug, not an
+  // operational condition.
+  if (truth.num_hosts() >= 1 && truth.num_switches() >= 1 &&
+      !result.certified) {
+    report.violations.push_back(
+        {"federated-certify",
+         "merged map matches the monolithic core but failed certification: " +
+             (result.uncertified_reasons.empty()
+                  ? std::string("(no reason recorded)")
+                  : result.uncertified_reasons.front())});
+  }
+}
+
 }  // namespace
 
 OracleReport run_oracles(const ScenarioCase& c, const OracleOptions& options) {
@@ -594,6 +681,7 @@ OracleReport run_oracles(const ScenarioCase& c, const OracleOptions& options) {
     run_faulted_oracles(c, options, mapper, depth, report);
     run_incremental_oracle(c, options, mapper, depth, report);
   }
+  run_federated_oracle(c, options, mapper, report);
   return report;
 }
 

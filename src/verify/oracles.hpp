@@ -43,6 +43,16 @@
 //                     fault landing inside [stable_since, elapsed] — the
 //                     session's blind window, where no mapper could have
 //                     observed the change.
+//  * federated-iso   — sharded mapping loses nothing: a FederatedMapper run
+//                     (auto-partitioned regions anchored at the mapper host,
+//                     concurrent per-region sessions, boundary resolution,
+//                     recomputed routes) produces a merged map Theorem-1
+//                     isomorphic to the monolithic truth core(C) — and the
+//                     merged model is *certified* (analyzer-clean, both
+//                     certificates re-checked). On a flap-free faulted case
+//                     the oracle runs on the settled surviving fabric, so
+//                     fault schedules are covered too; flap timelines are a
+//                     skip (no quiescent instant to shard at).
 //  * incremental-equiv — for the same flap-free faulted cases, run after
 //                     the timeline settles (clock based past the last
 //                     event): an IncrementalMapper sweep restricted to the
@@ -75,7 +85,8 @@ struct Violation {
   /// "deadlock-differential", "routing-crash", "analysis-clean",
   /// "analysis-deadlock-diff", "analysis-certificate", "analysis-crash",
   /// "conservation", "pipeline-equiv", "pipeline-crash", "robust-iso",
-  /// "robust-crash", "incremental-equiv", "incremental-crash".
+  /// "robust-crash", "incremental-equiv", "incremental-crash",
+  /// "federated-iso", "federated-certify", "federated-crash".
   std::string oracle;
   std::string detail;
 };
@@ -101,6 +112,11 @@ struct OracleOptions {
   bool pipeline = true;
   bool robust = true;
   bool incremental = true;
+  bool federated = true;
+
+  /// federated-iso: regions to shard the mapper's component into (clamped
+  /// to its host count).
+  int federated_regions = 3;
 
   /// incremental-equiv: BFS expansion around the event-touched switches
   /// when deriving the dirty region (mirrors RefreshConfig::dirty_radius).

@@ -369,6 +369,34 @@ TEST(ThreadPool, PropagatesExceptions) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, SubmitFutureCarriesWorkerException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("worker"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+  // The pool stays serviceable after a task threw.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForJoinsEveryTaskBeforeRethrowing) {
+  // The contract FederatedMapper's no-deadlock argument rests on: a
+  // throwing task must not abandon its siblings — parallel_for joins ALL
+  // futures first, then rethrows the first exception. Every non-throwing
+  // index observably completed even though index 3 threw.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(32);
+  EXPECT_THROW(pool.parallel_for(32,
+                                 [&](std::size_t i) {
+                                   if (i == 3) {
+                                     throw std::runtime_error("region down");
+                                   }
+                                   hits[i]++;
+                                 }),
+               std::runtime_error);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), i == 3 ? 0 : 1) << "index " << i;
+  }
+}
+
 TEST(ThreadPool, DrainsQueueOnDestruction) {
   std::atomic<int> done{0};
   {

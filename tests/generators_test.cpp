@@ -195,6 +195,46 @@ TEST(FatTree, DefaultBuilds) {
   EXPECT_TRUE(connected(t));
 }
 
+TEST(MultiPod, DefaultBuilds) {
+  const Topology t = multi_pod({});
+  // 3 pods x (2 roots + 3 leaves) + 2 spines.
+  EXPECT_EQ(t.num_switches(), 3u * 5u + 2u);
+  EXPECT_EQ(t.num_hosts(), 3u * 3u * 2u);
+  EXPECT_TRUE(connected(t));
+}
+
+TEST(MultiPod, SpineIsHostFreeAndSurvivesCoring) {
+  const Topology t = multi_pod({});
+  for (const topo::NodeId s : t.switches()) {
+    if (t.name(s).rfind("spine", 0) == 0) {
+      for (const topo::PortRef& ref : t.neighbors(s)) {
+        EXPECT_TRUE(t.is_switch(ref.node));
+      }
+    }
+  }
+  // Every pod root reaches every spine, so the spine layer is multiply
+  // connected and stays in the mappable core.
+  EXPECT_EQ(core(t).num_switches(), t.num_switches());
+}
+
+TEST(MultiPod, EightPodsFitThePortBudget) {
+  MultiPodOptions options;
+  options.pods = 8;
+  options.pod_roots = 1;
+  options.leaf_switches_per_pod = 4;
+  options.uplinks = 1;
+  const Topology t = multi_pod(options);
+  EXPECT_TRUE(connected(t));
+  EXPECT_EQ(t.num_switches(), 8u * 5u + 2u);
+}
+
+TEST(MultiPod, RejectsSpinePortExhaustion) {
+  MultiPodOptions options;
+  options.pods = 5;
+  options.pod_roots = 2;  // 10 spine wires > 8 ports
+  EXPECT_THROW(multi_pod(options), common::CheckFailure);
+}
+
 TEST(RandomIrregular, ConnectedAndDeterministic) {
   common::Rng rng1(99);
   common::Rng rng2(99);

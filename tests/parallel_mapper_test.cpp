@@ -159,6 +159,78 @@ TEST(PartialMerge, ContradictoryPartsRejected) {
                common::CheckFailure);
 }
 
+TEST(PartialMerge, BoundarySwitchSeenByThreeRegionsFusesToOne) {
+  // A hub switch on the boundary of three regions: every part observes it
+  // (anchored by the shared hub host), so the cascade must collapse the
+  // three copies into one — the n-way case the federation boundary
+  // resolver leans on, not just the pairwise merge.
+  Topology t;
+  const NodeId hub = t.add_switch("hub");
+  const NodeId hub_host = t.add_host("hub-host");
+  t.connect(hub_host, 0, hub, 0);
+  std::vector<NodeId> leaves;
+  std::vector<NodeId> leaf_hosts;
+  for (int i = 0; i < 3; ++i) {
+    const NodeId leaf = t.add_switch("leaf" + std::to_string(i));
+    t.connect(leaf, 0, hub, static_cast<topo::Port>(1 + i));
+    leaves.push_back(leaf);
+    leaf_hosts.push_back(t.add_host("h" + std::to_string(i)));
+    t.connect(leaf_hosts.back(), 0, leaf, 1);
+  }
+
+  common::Rng rng(11);
+  std::vector<Topology> parts;
+  for (int i = 0; i < 3; ++i) {
+    parts.push_back(
+        slice(t, {hub, hub_host, leaves[static_cast<std::size_t>(i)],
+                  leaf_hosts[static_cast<std::size_t>(i)]},
+              rng));
+  }
+  PartialMergeStats stats;
+  const Topology merged = merge_partial_maps(parts, &stats);
+  EXPECT_TRUE(topo::isomorphic(merged, t))
+      << merged.num_hosts() << "h/" << merged.num_switches() << "s";
+  EXPECT_EQ(merged.num_switches(), 4u);  // three hub copies became one
+  EXPECT_GT(stats.merges, 0u);
+}
+
+TEST(PartialMerge, RegionWhoseEntireMapIsBoundaryDissolvesIntoNeighbors) {
+  // A middle region that owns nothing: every switch it mapped is also
+  // mapped by a neighbor. The merge must dissolve it completely instead of
+  // duplicating the shared switches.
+  Topology t;
+  const NodeId s0 = t.add_switch("s0");
+  const NodeId s1 = t.add_switch("s1");
+  t.connect(s0, 0, s1, 0);
+  const NodeId h0 = t.add_host("h0");
+  t.connect(h0, 0, s0, 1);
+  const NodeId h1 = t.add_host("h1");
+  t.connect(h1, 0, s1, 1);
+
+  common::Rng rng(17);
+  const Topology left = slice(t, {s0, h0, s1}, rng);
+  const Topology middle = slice(t, {s0, s1, h0, h1}, rng);  // all boundary
+  const Topology right = slice(t, {s1, h1, s0}, rng);
+  PartialMergeStats stats;
+  const Topology merged = merge_partial_maps({left, middle, right}, &stats);
+  EXPECT_TRUE(topo::isomorphic(merged, t));
+  EXPECT_EQ(merged.num_switches(), 2u);
+  EXPECT_GT(stats.merges, 0u);
+}
+
+TEST(PartialMerge, EmptyPartIsIdentityElement) {
+  // A region that mapped nothing (empty fabric slice, exhausted budget)
+  // contributes no evidence and must not perturb the merge.
+  const Topology t = topo::star(3, 2);
+  common::Rng rng(23);
+  const Topology part = slice(t, t.nodes(), rng);
+  PartialMergeStats stats;
+  const Topology merged =
+      merge_partial_maps({Topology{}, part, Topology{}}, &stats);
+  EXPECT_TRUE(topo::isomorphic(merged, t));
+  EXPECT_EQ(stats.loaded_vertices, part.num_nodes());
+}
+
 TEST(ParallelMapper, ThreeMappersCoverTheNow) {
   const Topology t = topo::now_cluster();
   simnet::Network net(t);

@@ -1,11 +1,12 @@
 // sanmap — command-line front end to the library.
 //
 //   sanmap gen    --topology now|now-c|now-a|now-b|hypercube|mesh|torus|
-//                             ring|star|fattree|random [shape flags]
+//                             ring|star|fattree|multipod|random [shape flags]
 //                 [--out FILE]
 //   sanmap info   --in FILE [--mapper HOST]
 //   sanmap map    --in FILE [--mapper HOST] [--algorithm berkeley|labeled|
 //                             myricom|identity|randomized]
+//                 [--federate SPEC [--overlap N]]
 //                 [--collision cut-through|circuit] [--out FILE]
 //   sanmap routes --in FILE [--root NAME] [--sample N]
 //   sanmap lint   --in FILE [--root NAME] [--seed N] [--json]
@@ -13,6 +14,7 @@
 //                 [--sabotage-turn]
 //   sanmap dot    --in FILE [--out FILE]
 //   sanmap serve  --in FILE [--master HOST] [--ticks N] [--interval-ms M]
+//                 [--federate SPEC [--overlap N]]
 //                 [--faults SPEC | --churn SPEC [--churn-seed N]]
 //                 [--snapshot-out FILE]
 //   sanmap query  --snapshot FILE [--src HOST --dst HOST] [--sample N]
@@ -29,6 +31,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "federation/federated_mapper.hpp"
 #include "mapper/berkeley_mapper.hpp"
 #include "mapper/id_mapper.hpp"
 #include "mapper/incremental.hpp"
@@ -100,7 +103,7 @@ int cmd_gen(int argc, const char* const* argv) {
   common::Flags flags;
   flags.define("topology", "now",
                "now|now-c|now-a|now-b|hypercube|mesh|torus|ring|star|"
-               "fattree|random");
+               "fattree|multipod|random");
   flags.define("out", "-", "output file, - for stdout");
   flags.define("dim", "3", "hypercube dimension");
   flags.define("width", "4", "mesh/torus width");
@@ -109,6 +112,8 @@ int cmd_gen(int argc, const char* const* argv) {
   flags.define("hosts", "2", "hosts per switch (regular topologies)");
   flags.define("random-hosts", "10", "total hosts (random)");
   flags.define("extra-links", "5", "extra links (random)");
+  flags.define("pods", "3", "pod count (multipod)");
+  flags.define("pod-leaves", "3", "leaf switches per pod (multipod)");
   flags.define("seed", "1", "seed (random)");
   if (!flags.parse(argc, argv)) {
     return 0;
@@ -138,6 +143,13 @@ int cmd_gen(int argc, const char* const* argv) {
     t = topo::star(static_cast<int>(flags.get_int("switches")) % 9, hosts);
   } else if (kind == "fattree") {
     t = topo::fat_tree({});
+  } else if (kind == "multipod") {
+    topo::MultiPodOptions options;
+    options.pods = static_cast<int>(flags.get_int("pods"));
+    options.leaf_switches_per_pod =
+        static_cast<int>(flags.get_int("pod-leaves"));
+    options.hosts_per_leaf = hosts;
+    t = topo::multi_pod(options);
   } else if (kind == "random") {
     common::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
     t = topo::random_irregular(
@@ -184,6 +196,55 @@ int cmd_info(int argc, const char* const* argv) {
   return 0;
 }
 
+// Shared by `map --federate` and `serve --federate`: run the full sharded
+// pipeline (partition, concurrent region sessions, boundary resolution,
+// route recomputation, certification) and narrate it.
+federation::FederatedResult run_federated(const topo::Topology& t,
+                                          const std::string& spec,
+                                          int overlap_margin,
+                                          const std::string& root_name,
+                                          std::uint64_t route_seed,
+                                          const simnet::FaultSchedule* faults,
+                                          simnet::CollisionModel collision) {
+  federation::FederationConfig config;
+  config.spec = federation::parse_federation_spec(spec);
+  config.partition.overlap_margin = overlap_margin;
+  config.collision = collision;
+  config.root_name = root_name;
+  config.route_seed = route_seed;
+  config.faults = faults;
+  federation::FederatedMapper federated(t, config);
+
+  common::Table regions(
+      {"region", "mapper", "switches", "depth", "nodes", "probes", "time"});
+  const federation::FederatedResult result = federated.run();
+  for (const federation::RegionOutcome& r : result.regions) {
+    regions.add_row({r.name, t.name(r.mapper),
+                     std::to_string(r.switches_assigned),
+                     std::to_string(r.depth), std::to_string(r.nodes_mapped),
+                     std::to_string(r.probes) +
+                         (r.budget_exceeded ? " (OVER BUDGET)" : ""),
+                     r.elapsed.str()});
+  }
+  std::cerr << regions;
+  std::cerr << "boundary  : " << result.boundary_switches
+            << " switches on region boundaries, " << result.boundary_conflicts
+            << " cross-region fusions resolved\n";
+  std::cerr << "merged    : " << result.map.num_hosts() << " hosts, "
+            << result.map.num_switches() << " switches, "
+            << result.map.num_wires() << " links ("
+            << result.merge.loaded_vertices << " vertices loaded, "
+            << result.merge.pruned << " pruned)\n";
+  std::cerr << "probes    : " << result.total_probes << " across all regions\n";
+  std::cerr << "time      : " << result.elapsed.str()
+            << " (max over regions + merge, simulated)\n";
+  std::cerr << "certified : " << (result.certified ? "yes" : "NO") << "\n";
+  for (const std::string& reason : result.uncertified_reasons) {
+    std::cerr << "            - " << reason << "\n";
+  }
+  return result;
+}
+
 int cmd_map(int argc, const char* const* argv) {
   common::Flags flags;
   flags.define("in", "-", "input topology file");
@@ -194,16 +255,41 @@ int cmd_map(int argc, const char* const* argv) {
   flags.define("previous", "",
                "previous map file: verify it and repair locally instead of "
                "mapping from scratch (berkeley algorithm only)");
+  flags.define("federate", "",
+               "shard the fabric and map regions concurrently: "
+               "\"auto:<k>[@<anchor-host>]\" or \"[name=]host,...\"");
+  flags.define("overlap", "2",
+               "federation overlap margin (extra region probe depth)");
   flags.define("out", "", "write the mapped topology here");
   flags.define("verify", "true", "check the map against the ground truth");
   if (!flags.parse(argc, argv)) {
     return 0;
   }
   const topo::Topology t = read_input(flags.get("in"));
-  const topo::NodeId mapper = pick_mapper(t, flags.get("mapper"));
   const auto collision = flags.get("collision") == "circuit"
                              ? simnet::CollisionModel::kCircuit
                              : simnet::CollisionModel::kCutThrough;
+
+  if (!flags.get("federate").empty()) {
+    const federation::FederatedResult result = run_federated(
+        t, flags.get("federate"), static_cast<int>(flags.get_int("overlap")),
+        /*root_name=*/"", /*route_seed=*/1, /*faults=*/nullptr, collision);
+    if (flags.get_bool("verify")) {
+      const bool ok = topo::isomorphic(result.map, topo::core(t));
+      std::cerr << "verified  : "
+                << (ok ? "isomorphic to the ground truth" : "MISMATCH")
+                << "\n";
+      if (!ok) {
+        return 1;
+      }
+    }
+    if (const std::string out = flags.get("out"); !out.empty()) {
+      write_output(out, topo::to_text(result.map));
+    }
+    return result.certified ? 0 : 1;
+  }
+
+  const topo::NodeId mapper = pick_mapper(t, flags.get("mapper"));
   const std::string algorithm = flags.get("algorithm");
 
   simnet::HardwareExtensions ext;
@@ -423,6 +509,11 @@ int cmd_serve(int argc, const char* const* argv) {
                "into a fault schedule anchored after bootstrap (grammar: "
                "src/simnet/churn.hpp)");
   flags.define("churn-seed", "1", "churn target-selection seed");
+  flags.define("federate", "",
+               "bootstrap epoch 1 by federated mapping instead of a single "
+               "master session: \"auto:<k>[@<anchor>]\" or \"[name=]host,...\"");
+  flags.define("overlap", "2",
+               "federation overlap margin (extra region probe depth)");
   flags.define("snapshot-out", "", "write the final snapshot here (binary)");
   if (!flags.parse(argc, argv)) {
     return 0;
@@ -448,12 +539,47 @@ int cmd_serve(int argc, const char* const* argv) {
   config.route_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   service::RefreshLoop loop(net, catalog, config);
 
-  const auto boot = loop.bootstrap();
-  std::cerr << "bootstrap : epoch " << boot.epoch_after << " at "
-            << boot.at.str() << " (" << boot.probes_used << " probes, "
-            << (boot.distribution_complete ? "tables distributed"
-                                           : "DISTRIBUTION INCOMPLETE")
-            << ")\n";
+  if (!flags.get("federate").empty()) {
+    // Federated bootstrap: shard the fabric, map regions concurrently, and
+    // publish the certified merged model as epoch 1. The loop's own tick()
+    // only bootstraps an *empty* catalog, so it picks up from here with
+    // plain health checks — and its incremental/full remap rungs take over
+    // on any later breakage.
+    const federation::FederatedResult result = run_federated(
+        t, flags.get("federate"), static_cast<int>(flags.get_int("overlap")),
+        flags.get("root"),
+        static_cast<std::uint64_t>(flags.get_int("seed")),
+        flags.get("churn").empty() ? &schedule : nullptr,
+        simnet::CollisionModel::kCutThrough);
+    if (!result.certified) {
+      std::cerr << "bootstrap : REFUSED — uncertified merged map is not "
+                   "publishable\n";
+      return 1;
+    }
+    service::SnapshotOptions snapshot_options;
+    snapshot_options.root_name = flags.get("root");
+    snapshot_options.route_seed =
+        static_cast<std::uint64_t>(flags.get_int("seed"));
+    snapshot_options.source = "federated-bootstrap";
+    const auto publish = catalog.publish(service::build_snapshot(
+        result.map, snapshot_options, result.elapsed));
+    if (!publish.published()) {
+      std::cerr << "bootstrap : publish refused ("
+                << to_string(publish.status) << ")\n";
+      return 1;
+    }
+    std::cerr << "bootstrap : epoch " << publish.epoch << " at "
+              << result.elapsed.str() << " (federated, "
+              << result.regions.size() << " regions, " << result.total_probes
+              << " probes)\n";
+  } else {
+    const auto boot = loop.bootstrap();
+    std::cerr << "bootstrap : epoch " << boot.epoch_after << " at "
+              << boot.at.str() << " (" << boot.probes_used << " probes, "
+              << (boot.distribution_complete ? "tables distributed"
+                                             : "DISTRIBUTION INCOMPLETE")
+              << ")\n";
+  }
 
   // Churn clauses are anchored after bootstrap (the loop's clock only
   // starts once the fabric is mapped); the mapper host is immune, so the
