@@ -55,8 +55,8 @@ void Explorer::explore_vertex(VertexId v, MapResult& result) {
   // Seed feasibility with ports already known from merged-in replicates.
   {
     const Resolved r = model_->resolve(v);
-    for (const auto& [index, list] : model_->vertex(r.vertex).slots) {
-      const int turn = index - r.shift;
+    for (const SlotTable::Entry& entry : model_->vertex(r.vertex).slots) {
+      const int turn = entry.index - r.shift;
       if (turn >= simnet::kMinTurn && turn <= simnet::kMaxTurn) {
         feasibility.record_success(turn);
       }
@@ -77,8 +77,9 @@ void Explorer::explore_vertex(VertexId v, MapResult& result) {
       }
     }
 
-    const probe::Response response =
-        issue_probe(simnet::extended(prefix, turn));
+    probe_route_.assign(prefix.begin(), prefix.end());
+    probe_route_.push_back(turn);
+    const probe::Response response = issue_probe(probe_route_);
     switch (response.kind) {
       case probe::ResponseKind::kSwitch: {
         const VertexId child =

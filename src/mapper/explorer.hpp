@@ -66,6 +66,9 @@ class Explorer {
   std::optional<probe::ProbePipeline> pipeline_;
   std::vector<VertexId> frontier_;
   std::size_t head_ = 0;
+  /// Reused probe-route buffer: prefix + one turn, rebuilt in place per
+  /// probe so the hot loop performs no per-probe route allocation.
+  simnet::Route probe_route_;
 };
 
 }  // namespace sanmap::mapper

@@ -1,6 +1,7 @@
 #include "mapper/model_graph.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
@@ -62,12 +63,12 @@ EdgeId ModelGraph::add_edge(VertexId a, int index_a, VertexId b,
   e.index[1] = ib;
   edges_.push_back(e);
   ++live_edges_;
-  vertices_[ra.vertex].slots[ia].push_back(id);
-  vertices_[rb.vertex].slots[ib].push_back(id);
-  if (vertices_[ra.vertex].slots[ia].size() > 1) {
+  vertices_[ra.vertex].slots.add(ia, id);
+  vertices_[rb.vertex].slots.add(ib, id);
+  if (vertices_[ra.vertex].slots.at(ia).size() > 1) {
     schedule_slot_merges(ra.vertex, ia);
   }
-  if (vertices_[rb.vertex].slots[ib].size() > 1) {
+  if (vertices_[rb.vertex].slots.at(ib).size() > 1) {
     schedule_slot_merges(rb.vertex, ib);
   }
   return id;
@@ -123,45 +124,36 @@ void ModelGraph::mark_explored(VertexId v) {
 
 int ModelGraph::degree(VertexId v) const {
   SANMAP_CHECK(vertex_alive(v));
-  int ends = 0;
-  for (const auto& [index, list] : vertices_[v].slots) {
-    ends += static_cast<int>(list.size());
-  }
-  return ends;
+  return static_cast<int>(vertices_[v].slots.size());
 }
 
 void ModelGraph::kill_edge(EdgeId e) {
   Edge& rec = edges_[e];
   SANMAP_CHECK(rec.alive);
   for (int end = 0; end < 2; ++end) {
-    Vertex& v = vertices_[rec.vertex[end]];
-    const auto it = v.slots.find(rec.index[end]);
-    if (it != v.slots.end()) {
-      auto& list = it->second;
-      list.erase(std::remove(list.begin(), list.end(), e), list.end());
-      if (list.empty()) {
-        v.slots.erase(it);
-      }
-    }
+    vertices_[rec.vertex[end]].slots.remove(rec.index[end], e);
   }
   rec.alive = false;
   --live_edges_;
 }
 
 void ModelGraph::schedule_slot_merges(VertexId v, int slot_index) {
-  auto& vertex_rec = vertices_[v];
-  const auto it = vertex_rec.slots.find(slot_index);
-  if (it == vertex_rec.slots.end() || it->second.size() < 2) {
+  const std::span<const SlotTable::Entry> here =
+      vertices_[v].slots.at(slot_index);
+  if (here.size() < 2) {
     return;
   }
   // All edges in one slot represent the same actual wire: their far ends
   // must be the same actual (node, port). Take the first as the reference;
   // deduplicate identical copies and schedule merges for distinct vertices.
   const auto [ref_vertex, ref_index] =
-      far_end(it->second.front(), v, slot_index);
-  // Copy: kill_edge and merge scheduling mutate the live list.
-  const std::vector<EdgeId> edges_here(it->second.begin() + 1,
-                                       it->second.end());
+      far_end(here.front().edge, v, slot_index);
+  // Copy: kill_edge and merge scheduling mutate the live table.
+  std::vector<EdgeId> edges_here;
+  edges_here.reserve(here.size() - 1);
+  for (std::size_t i = 1; i < here.size(); ++i) {
+    edges_here.push_back(here[i].edge);
+  }
   for (const EdgeId e : edges_here) {
     const auto [far_vertex, far_index] = far_end(e, v, slot_index);
     if (far_vertex == ref_vertex && far_index == ref_index) {
@@ -206,20 +198,21 @@ void ModelGraph::execute_merge(const MergeRequest& request) {
   const int shift = request.shift + keep.shift - gone.shift;
 
   // Move every edge of src to dst, re-indexing by `shift` (the paper's
-  // mergeLabels re-indexing).
+  // mergeLabels re-indexing). The slot table iterates in ascending index
+  // order, so `affected` collects each distinct index once.
   std::vector<int> affected;
-  for (auto& [index, list] : src.slots) {
-    const int new_index = index + shift;
-    for (const EdgeId e : list) {
-      Edge& rec = edges_[e];
-      // A model self-loop appears in two slots of src; rewrite exactly the
-      // end that sits at this (src, index).
-      const int end = rec.end_of(gone.vertex, index);
-      rec.vertex[end] = keep.vertex;
-      rec.index[end] = new_index;
-      dst.slots[new_index].push_back(e);
+  for (const SlotTable::Entry& entry : src.slots) {
+    const int new_index = entry.index + shift;
+    Edge& rec = edges_[entry.edge];
+    // A model self-loop appears in two slots of src; rewrite exactly the
+    // end that sits at this (src, index).
+    const int end = rec.end_of(gone.vertex, entry.index);
+    rec.vertex[end] = keep.vertex;
+    rec.index[end] = new_index;
+    dst.slots.add(new_index, entry.edge);
+    if (affected.empty() || affected.back() != new_index) {
+      affected.push_back(new_index);
     }
-    affected.push_back(new_index);
   }
   src.slots.clear();
   src.alive = false;
@@ -256,45 +249,56 @@ int ModelGraph::stabilize() {
 
 int ModelGraph::prune() {
   SANMAP_CHECK_MSG(stabilized(), "prune requires a stabilized model");
-  int deleted = 0;
-  bool any = true;
-  while (any) {
-    any = false;
-    for (VertexId v = 0; v < vertices_.size(); ++v) {
-      if (!vertices_[v].alive ||
-          vertices_[v].kind != topo::NodeKind::kSwitch ||
-          degree(v) > 1) {
-        continue;
-      }
-      // A switch whose one wire leads to a host is adjacent to that host,
-      // so no switch-bridge separates it (Lemma 1): it is core, not a
-      // dead-end stub. The degenerate mapper-host-and-one-switch network is
-      // exactly this shape.
-      bool host_neighbor = false;
-      for (const auto& [index, list] : vertices_[v].slots) {
-        for (const EdgeId e : list) {
-          const auto [far, far_index] = far_end(e, v, index);
-          if (far != v && vertices_[far].kind == topo::NodeKind::kHost) {
-            host_neighbor = true;
-          }
-        }
-      }
-      if (host_neighbor) {
-        continue;
-      }
-      // Copy out the incident edges before killing them.
-      std::vector<EdgeId> incident;
-      for (const auto& [index, list] : vertices_[v].slots) {
-        incident.insert(incident.end(), list.begin(), list.end());
-      }
-      for (const EdgeId e : incident) {
-        kill_edge(e);
-      }
-      vertices_[v].alive = false;
-      --live_vertices_;
-      ++deleted;
-      any = true;
+  // A vertex is prunable when it is a live switch with at most one incident
+  // edge-end and that edge does not lead to a host: a switch whose one wire
+  // leads to a host is adjacent to that host, so no switch-bridge separates
+  // it (Lemma 1) — it is core, not a dead-end stub. The degenerate
+  // mapper-host-and-one-switch network is exactly this shape.
+  const auto prunable = [&](VertexId v) {
+    if (!vertices_[v].alive || vertices_[v].kind != topo::NodeKind::kSwitch ||
+        degree(v) > 1) {
+      return false;
     }
+    for (const SlotTable::Entry& entry : vertices_[v].slots) {
+      const auto [far, far_index] = far_end(entry.edge, v, entry.index);
+      if (far != v && vertices_[far].kind == topo::NodeKind::kHost) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // Worklist instead of whole-table rescans: killing a stub's edge can make
+  // only that edge's far endpoint newly prunable, so the fixpoint (which is
+  // confluent — the deleted set is unique regardless of order) is reached
+  // in O(deleted) work instead of O(V) per deleted vertex.
+  std::vector<VertexId> worklist;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (prunable(v)) {
+      worklist.push_back(v);
+    }
+  }
+  int deleted = 0;
+  while (!worklist.empty()) {
+    const VertexId v = worklist.back();
+    worklist.pop_back();
+    if (!prunable(v)) {
+      continue;  // deleted via another path, or stale duplicate entry
+    }
+    // Degree <= 1: at most one incident edge. Kill it and requeue its far
+    // endpoint, whose degree just dropped.
+    if (!vertices_[v].slots.empty()) {
+      const SlotTable::Entry entry = *vertices_[v].slots.begin();
+      const Edge& rec = edges_[entry.edge];
+      const VertexId far =
+          rec.vertex[0] == v ? rec.vertex[1] : rec.vertex[0];
+      kill_edge(entry.edge);
+      if (far != v && prunable(far)) {
+        worklist.push_back(far);
+      }
+    }
+    vertices_[v].alive = false;
+    --live_vertices_;
+    ++deleted;
   }
   return deleted;
 }
@@ -309,18 +313,21 @@ void ModelGraph::validate() const {
       continue;
     }
     ++live_v;
-    for (const auto& [index, list] : rec.slots) {
-      SANMAP_CHECK_MSG(!list.empty(), "empty slot entry survived");
-      for (const EdgeId e : list) {
-        SANMAP_CHECK(e < edges_.size());
-        const Edge& edge = edges_[e];
-        SANMAP_CHECK_MSG(edge.alive, "slot lists a dead edge");
-        const bool end0 = edge.vertex[0] == v && edge.index[0] == index;
-        const bool end1 = edge.vertex[1] == v && edge.index[1] == index;
-        SANMAP_CHECK_MSG(end0 || end1,
-                         "edge does not claim the slot listing it");
-        ++slot_ends;
-      }
+    int prev_index = 0;
+    bool first = true;
+    for (const SlotTable::Entry& entry : rec.slots) {
+      SANMAP_CHECK_MSG(first || entry.index >= prev_index,
+                       "slot table lost its index ordering");
+      prev_index = entry.index;
+      first = false;
+      SANMAP_CHECK(entry.edge < edges_.size());
+      const Edge& edge = edges_[entry.edge];
+      SANMAP_CHECK_MSG(edge.alive, "slot lists a dead edge");
+      const bool end0 = edge.vertex[0] == v && edge.index[0] == entry.index;
+      const bool end1 = edge.vertex[1] == v && edge.index[1] == entry.index;
+      SANMAP_CHECK_MSG(end0 || end1,
+                       "edge does not claim the slot listing it");
+      ++slot_ends;
     }
   }
   SANMAP_CHECK_MSG(live_v == live_vertices_, "live vertex count drifted");
@@ -333,12 +340,12 @@ void ModelGraph::validate() const {
     for (int end = 0; end < 2; ++end) {
       const Vertex& rec = vertices_[edge.vertex[end]];
       SANMAP_CHECK_MSG(rec.alive, "live edge attached to a dead vertex");
-      const auto it = rec.slots.find(edge.index[end]);
-      SANMAP_CHECK_MSG(it != rec.slots.end() &&
-                           std::find(it->second.begin(), it->second.end(),
-                                     static_cast<EdgeId>(&edge - edges_.data())) !=
-                               it->second.end(),
-                       "edge endpoint missing from its vertex slot");
+      const auto here = rec.slots.at(edge.index[end]);
+      const auto id = static_cast<EdgeId>(&edge - edges_.data());
+      const bool listed = std::any_of(
+          here.begin(), here.end(),
+          [&](const SlotTable::Entry& entry) { return entry.edge == id; });
+      SANMAP_CHECK_MSG(listed, "edge endpoint missing from its vertex slot");
     }
   }
   SANMAP_CHECK_MSG(live_e == live_edges_, "live edge count drifted");
@@ -374,16 +381,19 @@ topo::Topology ModelGraph::extract() const {
                      ? out.add_host(rec.host_name)
                      : out.add_switch();
     if (!rec.slots.empty()) {
-      const int lo = rec.slots.begin()->first;
-      const int hi = rec.slots.rbegin()->first;
+      const int lo = rec.slots.lo();
+      const int hi = rec.slots.hi();
       SANMAP_CHECK_MSG(
           hi - lo < out.port_count(node_of[v]),
           "vertex slot span exceeds the port count — merge produced an "
           "impossible switch");
       base[v] = lo;
-      for (const auto& [index, list] : rec.slots) {
-        SANMAP_CHECK_MSG(list.size() == 1,
+      // Sorted entries: a repeated index would be adjacent.
+      int prev = lo - 1;
+      for (const SlotTable::Entry& entry : rec.slots) {
+        SANMAP_CHECK_MSG(entry.index != prev,
                          "conflicting slot survived stabilization");
+        prev = entry.index;
       }
     }
   }

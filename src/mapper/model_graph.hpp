@@ -12,8 +12,9 @@
 // resolved to the canonical object.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +28,83 @@ using VertexId = std::uint32_t;
 using EdgeId = std::uint32_t;
 inline constexpr VertexId kInvalidVertex = 0xffffffffu;
 
+/// A vertex's slot table: relative index -> edges attached there, stored as
+/// one flat vector of (index, edge) entries sorted by index (insertion
+/// order within an index). This replaces a per-vertex
+/// `std::map<int, std::vector<EdgeId>>`: megafabric mapping touches slots
+/// millions of times, and a vertex's handful of entries (bounded by its
+/// port count except transiently during a merge cascade) fit in one or two
+/// cache lines with no per-slot node allocations. Iterating the table
+/// visits entries in ascending index order, exactly like iterating the map
+/// it replaced.
+class SlotTable {
+ public:
+  struct Entry {
+    int index;
+    EdgeId edge;
+  };
+  using const_iterator = std::vector<Entry>::const_iterator;
+
+  /// Attaches `edge` at `index`, after any edges already there.
+  void add(int index, EdgeId edge) {
+    entries_.insert(upper(index), Entry{index, edge});
+  }
+  /// Detaches one (index, edge) entry; false when absent.
+  bool remove(int index, EdgeId edge) {
+    for (auto it = lower(index); it != entries_.end() && it->index == index;
+         ++it) {
+      if (it->edge == edge) {
+        entries_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  /// Total attached edge-ends (== the vertex degree).
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool contains(int index) const {
+    const auto it = lower(index);
+    return it != entries_.end() && it->index == index;
+  }
+  /// The edges attached at `index` (possibly none), in insertion order.
+  [[nodiscard]] std::span<const Entry> at(int index) const {
+    const auto first = lower(index);
+    auto last = first;
+    while (last != entries_.end() && last->index == index) {
+      ++last;
+    }
+    return {first, last};
+  }
+  /// Lowest / highest used index. Require !empty().
+  [[nodiscard]] int lo() const { return entries_.front().index; }
+  [[nodiscard]] int hi() const { return entries_.back().index; }
+
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+
+ private:
+  [[nodiscard]] std::vector<Entry>::const_iterator lower(int index) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), index,
+        [](const Entry& e, int i) { return e.index < i; });
+  }
+  [[nodiscard]] std::vector<Entry>::iterator lower(int index) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), index,
+        [](const Entry& e, int i) { return e.index < i; });
+  }
+  [[nodiscard]] std::vector<Entry>::iterator upper(int index) {
+    return std::upper_bound(
+        entries_.begin(), entries_.end(), index,
+        [](int i, const Entry& e) { return i < e.index; });
+  }
+
+  std::vector<Entry> entries_;
+};
+
 /// A model vertex. Slot indices are the paper's relative port numbers:
 /// initially the turn that discovered the edge (or 0 for the edge back to
 /// the discovering path); after merging, indices of a vertex are mutually
@@ -39,7 +117,7 @@ struct Vertex {
   bool explored = false;
   /// Relative index -> edges attached there. More than one edge in a slot
   /// is transient: the merge cascade collapses it.
-  std::map<int, std::vector<EdgeId>> slots;
+  SlotTable slots;
 };
 
 struct Edge {

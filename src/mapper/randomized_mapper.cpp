@@ -32,12 +32,12 @@ void RandomizedMapper::absorb_path(const simnet::Route& route,
     SANMAP_CHECK(model_.vertex_alive(r.vertex));
     const int slot = in_index + turn + r.shift;
     const Vertex& rec = model_.vertex(r.vertex);
-    const auto it = rec.slots.find(slot);
+    const auto here = rec.slots.at(slot);
     const bool last = (i + 1 == consumed_turns);
-    if (it != rec.slots.end()) {
+    if (!here.empty()) {
       // Known wire: follow it.
       const auto [far, far_index] =
-          model_.far_end(it->second.front(), r.vertex, slot);
+          model_.far_end(here.front().edge, r.vertex, slot);
       if (last) {
         // The path ends at a host; the known far end must agree.
         SANMAP_CHECK_MSG(

@@ -1,7 +1,6 @@
 #include "simnet/network.hpp"
 
 #include <cmath>
-#include <unordered_map>
 
 #include "common/check.hpp"
 #include "simnet/fault_schedule.hpp"
@@ -133,8 +132,15 @@ DeliveryResult Network::send(topo::NodeId src_host, const Route& route,
   const common::SimTime per_hop = cost_.switch_latency + flit;
 
   // Worm state. For each directed channel: the hop index at which the head
-  // last crossed it (cut-through) / whether it is held (circuit).
-  std::unordered_map<std::uint64_t, int> last_crossing;
+  // last crossed it (cut-through) / whether it is held (circuit). The table
+  // is a flat array indexed by channel_key, epoch-stamped per message so
+  // reuse costs one counter bump rather than a clear of the whole table.
+  const auto channels =
+      2 * static_cast<std::size_t>(topo_->wire_capacity());
+  if (crossing_.size() < channels) {
+    crossing_.resize(channels);
+  }
+  const std::uint64_t epoch = ++crossing_epoch_;
   common::SimTime stall{};  // extra time spent waiting on our own tail
 
   // Position: the message is about to leave `node` through the wire at
@@ -188,17 +194,16 @@ DeliveryResult Network::send(topo::NodeId src_host, const Route& route,
     }
 
     // Self-collision per the active model.
-    const auto key = channel_key(*wire_id, a_to_b);
-    const auto prior = last_crossing.find(key);
-    if (prior != last_crossing.end() &&
-        collision_ != CollisionModel::kPacket) {
+    const auto key = static_cast<std::size_t>(channel_key(*wire_id, a_to_b));
+    ChannelCrossing& cell = crossing_[key];
+    if (cell.epoch == epoch && collision_ != CollisionModel::kPacket) {
       if (collision_ == CollisionModel::kCircuit) {
         // The circuit holds every channel of the whole path at once; a
         // second use can never be granted.
         return finish(DeliveryStatus::kSelfCollision, node, hop,
                       per_hop * hop + stall + cost_.deadlock_break);
       }
-      const int gap = hop - prior->second;
+      const int gap = hop - cell.hop;
       const auto natural_drain = per_hop * gap;
       const auto worm_length = flit * message_flits;
       if (natural_drain < worm_length) {
@@ -214,7 +219,8 @@ DeliveryResult Network::send(topo::NodeId src_host, const Route& route,
         stall += worm_length - natural_drain;
       }
     }
-    last_crossing[key] = hop;
+    cell.epoch = epoch;
+    cell.hop = hop;
     ++hop;
     if (hook_ != nullptr) {
       hook_->on_hop(*wire_id, here, far);

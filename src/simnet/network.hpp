@@ -220,6 +220,18 @@ class Network {
   InvariantHook* hook_ = nullptr;
   common::Rng rng_;
   NetworkCounters counters_;
+
+  /// Scratch for send()'s worm state, reused across messages so the hot
+  /// path performs no per-send allocation: one slot per directed channel
+  /// (2 * wire capacity), epoch-stamped so "clearing" between messages is a
+  /// single counter bump instead of a table wipe. Grown lazily because the
+  /// topology may gain wires between sends.
+  struct ChannelCrossing {
+    std::uint64_t epoch = 0;
+    int hop = 0;
+  };
+  std::vector<ChannelCrossing> crossing_;
+  std::uint64_t crossing_epoch_ = 0;
 };
 
 }  // namespace sanmap::simnet

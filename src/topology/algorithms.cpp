@@ -1,9 +1,7 @@
 #include "topology/algorithms.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
-#include <queue>
 
 #include "common/check.hpp"
 
@@ -12,16 +10,26 @@ namespace sanmap::topo {
 std::vector<int> bfs_distances(const Topology& topo, NodeId from) {
   SANMAP_CHECK(topo.node_alive(from));
   std::vector<int> dist(topo.node_capacity(), -1);
-  std::deque<NodeId> queue;
+  // Flat FIFO (head index over a vector) and direct port-table iteration:
+  // megafabric benches run this over thousands of nodes, where per-visit
+  // neighbor vectors dominate the profile.
+  std::vector<NodeId> queue;
+  queue.reserve(topo.num_nodes());
   dist[from] = 0;
   queue.push_back(from);
-  while (!queue.empty()) {
-    const NodeId n = queue.front();
-    queue.pop_front();
-    for (const PortRef& nb : topo.neighbors(n)) {
-      if (dist[nb.node] == -1) {
-        dist[nb.node] = dist[n] + 1;
-        queue.push_back(nb.node);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId n = queue[head];
+    const int next = dist[n] + 1;
+    Port p = 0;
+    for (const WireId w : topo.port_wires(n)) {
+      const PortRef here{n, p++};
+      if (w == kInvalidWire) {
+        continue;
+      }
+      const NodeId far = topo.wire(w).opposite(here).node;
+      if (dist[far] == -1) {
+        dist[far] = next;
+        queue.push_back(far);
       }
     }
   }
@@ -45,15 +53,20 @@ int components(const Topology& topo, std::vector<int>& component_of) {
     if (component_of[start] != -1) {
       continue;
     }
-    std::deque<NodeId> queue{start};
+    std::vector<NodeId> queue{start};
     component_of[start] = count;
-    while (!queue.empty()) {
-      const NodeId n = queue.front();
-      queue.pop_front();
-      for (const PortRef& nb : topo.neighbors(n)) {
-        if (component_of[nb.node] == -1) {
-          component_of[nb.node] = count;
-          queue.push_back(nb.node);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId n = queue[head];
+      Port p = 0;
+      for (const WireId w : topo.port_wires(n)) {
+        const PortRef here{n, p++};
+        if (w == kInvalidWire) {
+          continue;
+        }
+        const NodeId far = topo.wire(w).opposite(here).node;
+        if (component_of[far] == -1) {
+          component_of[far] = count;
+          queue.push_back(far);
         }
       }
     }
@@ -173,26 +186,24 @@ std::vector<bool> separated_set(const Topology& topo) {
     // separated from H by this switch-bridge.
     for (const PortRef side : {wire.a, wire.b}) {
       std::vector<bool> seen(topo.node_capacity(), false);
-      std::deque<NodeId> queue{side.node};
+      std::vector<NodeId> reached{side.node};
       seen[side.node] = true;
       bool has_host = false;
-      std::vector<NodeId> reached;
-      while (!queue.empty()) {
-        const NodeId n = queue.front();
-        queue.pop_front();
-        reached.push_back(n);
+      for (std::size_t head = 0; head < reached.size(); ++head) {
+        const NodeId n = reached[head];
         if (topo.is_host(n)) {
           has_host = true;
         }
-        for (Port p = 0; p < topo.port_count(n); ++p) {
-          const auto w = topo.wire_at(n, p);
-          if (!w || *w == sb) {
+        Port p = 0;
+        for (const WireId w : topo.port_wires(n)) {
+          const PortRef here{n, p++};
+          if (w == kInvalidWire || w == sb) {
             continue;
           }
-          const PortRef far = topo.wire(*w).opposite(PortRef{n, p});
-          if (!seen[far.node]) {
-            seen[far.node] = true;
-            queue.push_back(far.node);
+          const NodeId far = topo.wire(w).opposite(here).node;
+          if (!seen[far]) {
+            seen[far] = true;
+            reached.push_back(far);
           }
         }
       }

@@ -400,14 +400,29 @@ Topology multi_pod(const MultiPodOptions& options) {
   SANMAP_CHECK(options.hosts_per_leaf >= 1);
   SANMAP_CHECK(options.uplinks >= 1);
   SANMAP_CHECK(options.spines >= 1);
-  // Port budgets (8-port switches): spines take one wire per pod root,
-  // pod roots take their share of leaf uplinks plus one wire per spine,
+  SANMAP_CHECK(options.spine_uplinks >= 0);
+  // Port budgets (8-port switches): spines take their share of root links,
+  // pod roots take their share of leaf uplinks plus their spine links,
   // leaves take hosts plus uplinks.
-  SANMAP_CHECK_MSG(options.pods * options.pod_roots <= 8,
-                   "multi_pod: spine ports exhausted");
+  const int total_roots = options.pods * options.pod_roots;
+  const int spine_links_per_root =
+      options.spine_uplinks > 0 ? options.spine_uplinks : options.spines;
+  if (options.spine_uplinks == 0) {
+    // Dense legacy wiring: every pod root reaches every spine.
+    SANMAP_CHECK_MSG(total_roots <= 8, "multi_pod: spine ports exhausted");
+  } else {
+    SANMAP_CHECK_MSG(options.spine_uplinks >= 2 || options.spines == 1,
+                     "multi_pod: spine_uplinks >= 2 (or one spine) keeps "
+                     "the spine layer connected");
+    SANMAP_CHECK_MSG(total_roots * options.spine_uplinks <= 8 * options.spines,
+                     "multi_pod: spine ports exhausted");
+    SANMAP_CHECK_MSG(total_roots * options.spine_uplinks >= 2 * options.spines,
+                     "multi_pod: every spine needs >= 2 root links to "
+                     "survive coring");
+  }
   SANMAP_CHECK_MSG(
       (options.leaf_switches_per_pod * options.uplinks + options.pod_roots -
-       1) / options.pod_roots + options.spines <= 8,
+       1) / options.pod_roots + spine_links_per_root <= 8,
       "multi_pod: pod-root ports exhausted");
   SANMAP_CHECK_MSG(options.hosts_per_leaf + options.uplinks <= 8,
                    "multi_pod: leaf ports exhausted");
@@ -419,6 +434,7 @@ Topology multi_pod(const MultiPodOptions& options) {
   for (int s = 0; s < options.spines; ++s) {
     spines.push_back(topo.add_switch("spine" + std::to_string(s)));
   }
+  int root_counter = 0;  // global root order for the windowed spine spread
   for (int p = 0; p < options.pods; ++p) {
     const std::string prefix = "P" + std::to_string(p) + ".";
     std::vector<NodeId> roots;
@@ -447,12 +463,174 @@ Topology multi_pod(const MultiPodOptions& options) {
       }
     }
     for (const NodeId root : roots) {
-      for (const NodeId spine : spines) {
-        topo.connect_any(root, spine);
+      if (options.spine_uplinks == 0) {
+        for (const NodeId spine : spines) {
+          topo.connect_any(root, spine);
+        }
+      } else {
+        // Windowed round-robin over the global root order: root k takes
+        // spines k .. k + spine_uplinks - 1 (mod spines), with free-port
+        // fall-forward. Consecutive windows overlap by all but one spine,
+        // so every adjacent spine pair shares a root and the layer is
+        // connected with every spine multiply attached.
+        for (int u = 0; u < options.spine_uplinks; ++u) {
+          for (std::size_t tries = 0; tries < spines.size(); ++tries) {
+            const NodeId target =
+                spines[(static_cast<std::size_t>(root_counter + u) + tries) %
+                       spines.size()];
+            if (topo.free_port(root) && topo.free_port(target)) {
+              topo.connect_any(root, target);
+              break;
+            }
+          }
+        }
+      }
+      ++root_counter;
+    }
+  }
+  return topo;
+}
+
+Topology mega_fat_tree(const MegaFatTreeOptions& options) {
+  SANMAP_CHECK(options.levels >= 2);
+  SANMAP_CHECK(options.leaf_switches >= 2);
+  SANMAP_CHECK(options.taper >= 2);
+  SANMAP_CHECK(options.hosts_per_leaf >= 1);
+  SANMAP_CHECK_MSG(options.uplinks >= 2,
+                   "mega_fat_tree: uplinks >= 2 keeps every level connected");
+  SANMAP_CHECK_MSG(options.hosts_per_leaf + options.uplinks <= 8,
+                   "mega_fat_tree: leaf ports exhausted");
+  // A mid-level switch absorbs at most taper * uplinks downlinks (the level
+  // below is at most taper times wider) on top of its own uplinks; the top
+  // level spends all 8 ports on downlinks.
+  SANMAP_CHECK_MSG((options.taper + 1) * options.uplinks <= 8,
+                   "mega_fat_tree: mid-level ports exhausted");
+  Topology topo;
+  std::vector<std::vector<NodeId>> level;
+  int width = options.leaf_switches;
+  for (int l = 0; l < options.levels; ++l) {
+    if (l > 0) {
+      width = std::max(2, (width + options.taper - 1) / options.taper);
+    }
+    std::vector<NodeId> row;
+    row.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      row.push_back(topo.add_switch("L" + std::to_string(l) + "." +
+                                    std::to_string(i)));
+    }
+    level.push_back(std::move(row));
+  }
+  int host_index = 0;
+  for (const NodeId leaf : level[0]) {
+    for (int h = 0; h < options.hosts_per_leaf; ++h) {
+      const NodeId host = topo.add_host("h" + std::to_string(host_index++));
+      topo.connect_any(host, leaf);
+    }
+  }
+  for (int l = 0; l + 1 < options.levels; ++l) {
+    const auto& lower = level[static_cast<std::size_t>(l)];
+    const auto& upper = level[static_cast<std::size_t>(l + 1)];
+    // The fat_tree overlapping-window spread: lower switch i uplinks to the
+    // consecutive upper window starting at i mod n, falling forward past
+    // full switches, so the level stays connected at every width.
+    for (std::size_t li = 0; li < lower.size(); ++li) {
+      const NodeId s = lower[li];
+      for (int u = 0; u < options.uplinks; ++u) {
+        for (std::size_t tries = 0; tries < upper.size(); ++tries) {
+          const NodeId target =
+              upper[(li + static_cast<std::size_t>(u) + tries) %
+                    upper.size()];
+          if (topo.free_port(s) && topo.free_port(target)) {
+            topo.connect_any(s, target);
+            break;
+          }
+        }
       }
     }
   }
   return topo;
+}
+
+Topology dragonfly_ish(const DragonflyishOptions& options, common::Rng& rng) {
+  SANMAP_CHECK(options.groups >= 3);
+  SANMAP_CHECK(options.switches_per_group >= 3);
+  SANMAP_CHECK(options.hosts_per_group >= 1);
+  SANMAP_CHECK(options.local_chords >= 0);
+  SANMAP_CHECK(options.global_extras >= 0);
+  // Ring (2 ports) + spread hosts must leave a port for the global ring.
+  SANMAP_CHECK_MSG(
+      (options.hosts_per_group + options.switches_per_group - 1) /
+              options.switches_per_group + 3 <= 8,
+      "dragonfly_ish: switch ports exhausted by hosts alone");
+  const auto s_count = static_cast<std::size_t>(options.switches_per_group);
+  Topology topo;
+  std::vector<std::vector<NodeId>> group(
+      static_cast<std::size_t>(options.groups));
+  for (int g = 0; g < options.groups; ++g) {
+    auto& row = group[static_cast<std::size_t>(g)];
+    row.reserve(s_count);
+    for (int s = 0; s < options.switches_per_group; ++s) {
+      row.push_back(topo.add_switch("G" + std::to_string(g) + "." +
+                                    std::to_string(s)));
+    }
+    // Deterministic skeleton 1: the local ring.
+    for (std::size_t s = 0; s < s_count; ++s) {
+      topo.connect_any(row[s], row[(s + 1) % s_count]);
+    }
+    // Hosts spread round-robin over the ring.
+    for (int h = 0; h < options.hosts_per_group; ++h) {
+      const NodeId host = topo.add_host("G" + std::to_string(g) + ".h" +
+                                        std::to_string(h));
+      topo.connect_any(host, row[static_cast<std::size_t>(h) % s_count]);
+    }
+  }
+  // Deterministic skeleton 2: the global ring, entry switch rotating per
+  // group so no single switch collects all the long-haul ports.
+  for (int g = 0; g < options.groups; ++g) {
+    const auto next = static_cast<std::size_t>((g + 1) % options.groups);
+    topo.connect_any(
+        group[static_cast<std::size_t>(g)][static_cast<std::size_t>(g) %
+                                           s_count],
+        group[next][(static_cast<std::size_t>(g) + 1) % s_count]);
+  }
+  // Seeded rewiring on top of the (connectivity-guaranteeing) skeleton:
+  // attempts that land on full switches are skipped, keeping every draw
+  // deterministic for a given seed without any port-budget bookkeeping.
+  for (int g = 0; g < options.groups; ++g) {
+    const auto& row = group[static_cast<std::size_t>(g)];
+    for (int c = 0; c < options.local_chords; ++c) {
+      const std::size_t a = rng.below(s_count);
+      const std::size_t b = rng.below(s_count);
+      if (a == b || !topo.free_port(row[a]) || !topo.free_port(row[b])) {
+        continue;
+      }
+      topo.connect_any(row[a], row[b]);
+    }
+    for (int e = 0; e < options.global_extras; ++e) {
+      const auto far_group = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(options.groups)));
+      const std::size_t a = rng.below(s_count);
+      const std::size_t b = rng.below(s_count);
+      if (far_group == static_cast<std::size_t>(g)) {
+        continue;
+      }
+      const NodeId from = row[a];
+      const NodeId to = group[far_group][b];
+      if (!topo.free_port(from) || !topo.free_port(to)) {
+        continue;
+      }
+      topo.connect_any(from, to);
+    }
+  }
+  return topo;
+}
+
+int generous_search_depth(const Topology& topo) {
+  // A probe walk never repeats a directed wire, so Q <= 2 * wires and
+  // D <= wires: Q + D + 1 <= 3 * wires + 1. Overshooting the exact bound
+  // only relaxes the exploration cap — it adds no probes — so megafabric
+  // sessions skip the min-cost-flow Q entirely.
+  return static_cast<int>(3 * topo.num_wires() + 3);
 }
 
 Topology random_irregular(int num_switches, int num_hosts, int extra_links,

@@ -116,12 +116,70 @@ struct MultiPodOptions {
   int hosts_per_leaf = 2;
   /// Leaf-to-pod-root links per leaf (windowed round-robin, like fat_tree).
   int uplinks = 2;
-  /// Spine switches; every pod root links to every spine, so
-  /// pods * pod_roots <= 8 and pod-root ports must fit
+  /// Spine switches; with spine_uplinks == 0 every pod root links to every
+  /// spine, so pods * pod_roots <= 8 and pod-root ports must fit
   /// leaf uplinks + spines.
   int spines = 2;
+  /// 0 = the dense legacy wiring above. > 0 = each pod root links to this
+  /// many consecutive spines (windowed round-robin over the global root
+  /// order, with free-port fall-forward), lifting the 8-pod-root budget so
+  /// multi-pod clusters scale to hundreds of pods. Needs >= 2 (or a single
+  /// spine) so the spine layer stays connected and every spine keeps at
+  /// least two root links (a singly-attached host-free spine would sit
+  /// behind a switch-bridge and be shed by coring).
+  int spine_uplinks = 0;
 };
 Topology multi_pod(const MultiPodOptions& options = {});
+
+// -- megafabric generators (DESIGN.md §14) ----------------------------------
+//
+// Parameterized fabrics in the 1k–10k-switch range for the scaling gates.
+// All three respect the 8-port budget and keep every host-free region
+// multiply connected, so the full fabric survives coring and Theorem 1
+// applies to the whole thing.
+
+/// A tapered multi-level fat tree: level 0 has `leaf_switches` switches
+/// (each carrying `hosts_per_leaf` hosts), and every level above shrinks by
+/// `taper` (minimum width 2). Each non-top switch spreads `uplinks` links
+/// over a consecutive window of the level above (fall-forward on full
+/// ports), the same scheme as fat_tree, so the fabric is connected at every
+/// size for uplinks >= 2.
+struct MegaFatTreeOptions {
+  int levels = 4;
+  int leaf_switches = 512;
+  /// Upper-level width divisor: level l+1 has ceil(width_l / taper)
+  /// switches. taper * uplinks + uplinks <= 8 keeps mid-level ports legal.
+  int taper = 2;
+  int hosts_per_leaf = 2;
+  int uplinks = 2;
+};
+Topology mega_fat_tree(const MegaFatTreeOptions& options);
+
+/// A dragonfly-ish irregular mesh: `groups` local rings of
+/// `switches_per_group` switches with `hosts_per_group` hosts spread over
+/// each ring, a deterministic global ring joining the groups, and seeded
+/// rewiring on top — `local_chords` random intra-group chords and
+/// `global_extras` random inter-group links per group, each attached only
+/// where free ports allow. The deterministic skeleton guarantees
+/// connectivity for every seed; the seeded extras make distinct seeds
+/// structurally distinct (the generators_test non-isomorphism property).
+struct DragonflyishOptions {
+  int groups = 16;
+  int switches_per_group = 8;
+  int hosts_per_group = 4;
+  int local_chords = 2;
+  int global_extras = 2;
+};
+Topology dragonfly_ish(const DragonflyishOptions& options, common::Rng& rng);
+
+/// A safe analytic search depth (3 * wires + 3) for generated megafabrics.
+/// A probe walk never repeats a directed wire, so Q <= 2 * wires and
+/// D <= wires, giving Q + D + 1 <= 3 * wires + 1. The depth bound only caps
+/// exploration — no probe is ever sent *because* the cap is generous — so
+/// sessions at megafabric scale use this O(1) bound instead of the exact
+/// min-cost-flow Q + all-pairs-BFS D, which are quadratic-plus at 5k
+/// switches.
+int generous_search_depth(const Topology& topo);
 
 /// Random connected irregular network: `num_switches` switches in a random
 /// spanning tree plus `extra_links` random extra switch-switch links, and

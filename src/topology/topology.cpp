@@ -230,6 +230,11 @@ std::vector<PortRef> Topology::neighbors(NodeId n) const {
   return out;
 }
 
+std::span<const WireId> Topology::port_wires(NodeId n) const {
+  check_node(n);
+  return nodes_[n].ports;
+}
+
 std::optional<NodeId> Topology::find_host(const std::string& host_name) const {
   const auto it = host_by_name_.find(host_name);
   if (it == host_by_name_.end()) {

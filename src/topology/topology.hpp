@@ -4,6 +4,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -95,6 +96,11 @@ class Topology {
   /// Live neighbor wire-ends of n in ascending port order. Each element is
   /// the far end of one wire at one of n's ports.
   [[nodiscard]] std::vector<PortRef> neighbors(NodeId n) const;
+
+  /// The raw per-port wire slots of n in port order (kInvalidWire at free
+  /// ports): the allocation-free alternative to neighbors() for hot loops.
+  /// Follow a live slot with wire(w).opposite(PortRef{n, p}).
+  [[nodiscard]] std::span<const WireId> port_wires(NodeId n) const;
 
   /// Finds a host by its unique name.
   [[nodiscard]] std::optional<NodeId> find_host(const std::string& name) const;

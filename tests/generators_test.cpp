@@ -235,6 +235,143 @@ TEST(MultiPod, RejectsSpinePortExhaustion) {
   EXPECT_THROW(multi_pod(options), common::CheckFailure);
 }
 
+TEST(MultiPod, SpineUplinksScalesPastEightPodRoots) {
+  // The legacy dense wiring caps pods * pod_roots at 8; windowed spine
+  // uplinks lift that while keeping the host-free spine layer in the core.
+  MultiPodOptions options;
+  options.pods = 24;
+  options.pod_roots = 2;
+  options.spines = 16;
+  options.spine_uplinks = 2;
+  const Topology t = multi_pod(options);
+  EXPECT_EQ(t.num_switches(), 24u * 5u + 16u);
+  EXPECT_EQ(t.num_hosts(), 24u * 3u * 2u);
+  EXPECT_TRUE(connected(t));
+  for (const NodeId s : t.switches()) {
+    EXPECT_LE(t.degree(s), 8) << t.name(s);
+  }
+  // Every spine keeps >= 2 root links, so coring sheds nothing.
+  EXPECT_EQ(core(t).num_switches(), t.num_switches());
+}
+
+TEST(MultiPod, RejectsBadSpineUplinkConfigs) {
+  MultiPodOptions one_link;
+  one_link.spines = 4;
+  one_link.spine_uplinks = 1;  // singly-attached spines would be cored away
+  EXPECT_THROW(multi_pod(one_link), common::CheckFailure);
+
+  MultiPodOptions starved;
+  starved.pods = 2;
+  starved.pod_roots = 1;
+  starved.spines = 8;  // 2 * 2 root links < 2 * 8 spine ports needed
+  starved.spine_uplinks = 2;
+  EXPECT_THROW(multi_pod(starved), common::CheckFailure);
+}
+
+TEST(MegaFatTree, ExactCountsAndBudgets) {
+  MegaFatTreeOptions options;
+  options.levels = 4;
+  options.leaf_switches = 16;
+  options.taper = 2;
+  options.hosts_per_leaf = 2;
+  options.uplinks = 2;
+  const Topology t = mega_fat_tree(options);
+  // Tapered widths: 16, 8, 4, 2.
+  EXPECT_EQ(t.num_switches(), 16u + 8u + 4u + 2u);
+  EXPECT_EQ(t.num_hosts(), 16u * 2u);  // exact host count
+  // Wires: hosts + 2 uplinks per non-top switch.
+  EXPECT_EQ(t.num_wires(), 32u + (16u + 8u + 4u) * 2u);
+  EXPECT_TRUE(connected(t));
+  for (const NodeId s : t.switches()) {
+    EXPECT_LE(t.degree(s), 8) << t.name(s);
+  }
+  // Host-free upper levels are multiply connected: nothing cored away.
+  EXPECT_EQ(core(t).num_switches(), t.num_switches());
+}
+
+TEST(MegaFatTree, ThousandSwitchFabricConnected) {
+  MegaFatTreeOptions options;
+  options.leaf_switches = 600;  // widths 600, 300, 150, 75 -> 1125 switches
+  const Topology t = mega_fat_tree(options);
+  EXPECT_EQ(t.num_switches(), 600u + 300u + 150u + 75u);
+  EXPECT_EQ(t.num_hosts(), 1200u);
+  EXPECT_TRUE(connected(t));
+}
+
+TEST(MegaFatTree, RejectsPortOverSubscription) {
+  MegaFatTreeOptions options;
+  options.taper = 3;
+  options.uplinks = 3;  // (taper + 1) * uplinks = 12 > 8 mid-level ports
+  EXPECT_THROW(mega_fat_tree(options), common::CheckFailure);
+
+  MegaFatTreeOptions host_heavy;
+  host_heavy.hosts_per_leaf = 7;  // 7 hosts + 2 uplinks > 8 leaf ports
+  EXPECT_THROW(mega_fat_tree(host_heavy), common::CheckFailure);
+}
+
+TEST(Dragonflyish, ConnectedWithExactHostCounts) {
+  DragonflyishOptions options;
+  common::Rng rng(11);
+  const Topology t = dragonfly_ish(options, rng);
+  EXPECT_EQ(t.num_switches(),
+            static_cast<std::size_t>(options.groups *
+                                     options.switches_per_group));
+  EXPECT_EQ(t.num_hosts(), static_cast<std::size_t>(options.groups *
+                                                    options.hosts_per_group));
+  EXPECT_TRUE(connected(t));
+  for (const NodeId s : t.switches()) {
+    EXPECT_LE(t.degree(s), 8) << t.name(s);
+  }
+}
+
+TEST(Dragonflyish, SameSeedIdenticalTopology) {
+  DragonflyishOptions options;
+  common::Rng rng1(42);
+  common::Rng rng2(42);
+  const Topology a = dragonfly_ish(options, rng1);
+  const Topology b = dragonfly_ish(options, rng2);
+  EXPECT_TRUE(a.structurally_equal(b));
+}
+
+TEST(Dragonflyish, DistinctSeedsGiveNonIsomorphicCores) {
+  DragonflyishOptions options;
+  common::Rng rng1(1);
+  common::Rng rng2(2);
+  const Topology a = dragonfly_ish(options, rng1);
+  const Topology b = dragonfly_ish(options, rng2);
+  // The seeded chords land on different switches, so even the mappable
+  // cores differ structurally.
+  EXPECT_FALSE(core(a).structurally_equal(core(b)));
+}
+
+TEST(Dragonflyish, SkeletonConnectedEvenWithoutExtras) {
+  DragonflyishOptions options;
+  options.local_chords = 0;
+  options.global_extras = 0;
+  common::Rng rng(3);
+  const Topology t = dragonfly_ish(options, rng);
+  EXPECT_TRUE(connected(t));
+  EXPECT_EQ(core(t).num_switches(), t.num_switches());
+}
+
+TEST(GenerousSearchDepth, DominatesExactDepthOnSmallFabrics) {
+  // The analytic 3W + 3 bound must never under-shoot the exact
+  // min-cost-flow depth; overshoot is free (no probe is sent because the
+  // cap is generous).
+  MegaFatTreeOptions options;
+  options.leaf_switches = 8;
+  const Topology fabric = mega_fat_tree(options);
+  const Topology c = core(fabric);
+  EXPECT_GE(generous_search_depth(c), search_depth(c, *c.hosts().begin()));
+
+  DragonflyishOptions dragonfly;
+  dragonfly.groups = 4;
+  dragonfly.switches_per_group = 4;
+  common::Rng rng(7);
+  const Topology d = core(dragonfly_ish(dragonfly, rng));
+  EXPECT_GE(generous_search_depth(d), search_depth(d, *d.hosts().begin()));
+}
+
 TEST(RandomIrregular, ConnectedAndDeterministic) {
   common::Rng rng1(99);
   common::Rng rng2(99);

@@ -110,13 +110,11 @@ TEST(ModelGraph, AddEdgeResolvesMergedEndpoints) {
   m.stabilize();
   const Resolved rc = m.resolve(child);
   bool found = false;
-  for (const auto& [index, list] : m.vertex(s1).slots) {
-    for (const EdgeId e : list) {
-      const auto [far, far_index] = m.far_end(e, s1, index);
-      if (far == rc.vertex) {
-        EXPECT_EQ(index, 7);
-        found = true;
-      }
+  for (const SlotTable::Entry& entry : m.vertex(s1).slots) {
+    const auto [far, far_index] = m.far_end(entry.edge, s1, entry.index);
+    if (far == rc.vertex) {
+      EXPECT_EQ(entry.index, 7);
+      found = true;
     }
   }
   EXPECT_TRUE(found);

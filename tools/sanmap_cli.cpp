@@ -103,8 +103,11 @@ int cmd_gen(int argc, const char* const* argv) {
   common::Flags flags;
   flags.define("topology", "now",
                "now|now-c|now-a|now-b|hypercube|mesh|torus|ring|star|"
-               "fattree|multipod|random");
+               "fattree|multipod|random|megafattree|dragonfly");
   flags.define("out", "-", "output file, - for stdout");
+  flags.define("case", "false",
+               "emit a .sancase scenario (quiescent, cut-through, mapper = "
+               "first host) instead of a bare topology");
   flags.define("dim", "3", "hypercube dimension");
   flags.define("width", "4", "mesh/torus width");
   flags.define("height", "4", "mesh/torus height");
@@ -114,7 +117,13 @@ int cmd_gen(int argc, const char* const* argv) {
   flags.define("extra-links", "5", "extra links (random)");
   flags.define("pods", "3", "pod count (multipod)");
   flags.define("pod-leaves", "3", "leaf switches per pod (multipod)");
-  flags.define("seed", "1", "seed (random)");
+  flags.define("seed", "1", "seed (random/dragonfly)");
+  flags.define("levels", "4", "tree levels (megafattree)");
+  flags.define("leaves", "512", "leaf switches (megafattree)");
+  flags.define("taper", "2", "upper-level width divisor (megafattree)");
+  flags.define("groups", "16", "group count (dragonfly)");
+  flags.define("group-switches", "8", "switches per group (dragonfly)");
+  flags.define("group-hosts", "4", "hosts per group (dragonfly)");
   if (!flags.parse(argc, argv)) {
     return 0;
   }
@@ -156,10 +165,32 @@ int cmd_gen(int argc, const char* const* argv) {
         static_cast<int>(flags.get_int("switches")),
         static_cast<int>(flags.get_int("random-hosts")),
         static_cast<int>(flags.get_int("extra-links")), rng);
+  } else if (kind == "megafattree") {
+    topo::MegaFatTreeOptions options;
+    options.levels = static_cast<int>(flags.get_int("levels"));
+    options.leaf_switches = static_cast<int>(flags.get_int("leaves"));
+    options.taper = static_cast<int>(flags.get_int("taper"));
+    options.hosts_per_leaf = hosts;
+    t = topo::mega_fat_tree(options);
+  } else if (kind == "dragonfly") {
+    topo::DragonflyishOptions options;
+    options.groups = static_cast<int>(flags.get_int("groups"));
+    options.switches_per_group =
+        static_cast<int>(flags.get_int("group-switches"));
+    options.hosts_per_group = static_cast<int>(flags.get_int("group-hosts"));
+    common::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+    t = topo::dragonfly_ish(options, rng);
   } else {
     throw std::runtime_error("unknown topology kind: " + kind);
   }
-  write_output(flags.get("out"), topo::to_text(t));
+  if (flags.get("case") == "true") {
+    verify::ScenarioCase scenario;
+    scenario.name = kind;
+    scenario.network = t;
+    write_output(flags.get("out"), verify::to_text(scenario));
+  } else {
+    write_output(flags.get("out"), topo::to_text(t));
+  }
   return 0;
 }
 
