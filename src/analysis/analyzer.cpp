@@ -6,8 +6,6 @@
 
 namespace sanmap::analysis {
 
-namespace {
-
 void emit_legality_findings(const topo::Topology& map,
                             const LegalityCertificate& cert,
                             DiagnosticReport& report) {
@@ -45,8 +43,6 @@ void emit_deadlock_findings(const DeadlockCertificate& cert,
              "a cyclic channel-dependency graph can deadlock "
              "(Dally & Seitz); reject this table");
 }
-
-}  // namespace
 
 AnalysisResult analyze(const topo::Topology& map,
                        const routing::RoutingResult& routes,

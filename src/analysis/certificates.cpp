@@ -37,43 +37,6 @@ bool hop_goes_up(const topo::Topology& topo, const std::vector<int>& labels,
   return lex_less(labels, to, from);
 }
 
-/// Classifies one route: leading up moves, then the down suffix; the first
-/// up move after a down move is the offense.
-RouteLegality classify(const topo::Topology& topo,
-                       const std::vector<int>& labels, topo::NodeId src,
-                       topo::NodeId dst, const routing::HostRoute& route) {
-  RouteLegality entry;
-  entry.src = src;
-  entry.dst = dst;
-  bool went_down = false;
-  for (std::size_t i = 0; i < route.wires.size(); ++i) {
-    const bool up = hop_goes_up(topo, labels, route.wires[i], route.nodes[i]);
-    if (up && !went_down) {
-      entry.apex_hop = static_cast<int>(i) + 1;
-    }
-    if (!up) {
-      went_down = true;
-    }
-    if (up && went_down && entry.legal) {
-      entry.legal = false;
-      entry.offending_hop = static_cast<int>(i);
-    }
-  }
-  return entry;
-}
-
-std::vector<int> labels_from_root(const topo::Topology& topo,
-                                  topo::NodeId root) {
-  routing::UpDownOptions options;
-  options.root = root;
-  const routing::UpDownOrientation orientation(topo, options);
-  std::vector<int> labels(topo.node_capacity(), 0);
-  for (const topo::NodeId n : topo.nodes()) {
-    labels[n] = orientation.label(n);
-  }
-  return labels;
-}
-
 void explain(std::vector<std::string>* why, const std::string& line) {
   if (why != nullptr) {
     why->push_back(line);
@@ -105,6 +68,42 @@ std::vector<std::set<std::size_t>> dependency_edges(
 
 }  // namespace
 
+std::vector<int> legality_labels(const topo::Topology& topo,
+                                 topo::NodeId root) {
+  routing::UpDownOptions options;
+  options.root = root;
+  const routing::UpDownOrientation orientation(topo, options);
+  std::vector<int> labels(topo.node_capacity(), 0);
+  for (const topo::NodeId n : topo.nodes()) {
+    labels[n] = orientation.label(n);
+  }
+  return labels;
+}
+
+RouteLegality classify_route(const topo::Topology& topo,
+                             const std::vector<int>& labels, topo::NodeId src,
+                             topo::NodeId dst,
+                             const routing::HostRoute& route) {
+  RouteLegality entry;
+  entry.src = src;
+  entry.dst = dst;
+  bool went_down = false;
+  for (std::size_t i = 0; i < route.wires.size(); ++i) {
+    const bool up = hop_goes_up(topo, labels, route.wires[i], route.nodes[i]);
+    if (up && !went_down) {
+      entry.apex_hop = static_cast<int>(i) + 1;
+    }
+    if (!up) {
+      went_down = true;
+    }
+    if (up && went_down && entry.legal) {
+      entry.legal = false;
+      entry.offending_hop = static_cast<int>(i);
+    }
+  }
+  return entry;
+}
+
 LegalityCertificate build_legality_certificate(
     const topo::Topology& topo, const routing::RoutingResult& routes) {
   LegalityCertificate cert;
@@ -115,11 +114,11 @@ LegalityCertificate build_legality_certificate(
       "legality certificate: root " << cert.root
                                     << " is not a live switch of the map");
   cert.root_name = topo.name(cert.root);
-  cert.labels = labels_from_root(topo, cert.root);
+  cert.labels = legality_labels(topo, cert.root);
   cert.routes.reserve(routes.routes.size());
   for (const auto& [key, route] : routes.routes) {
     cert.routes.push_back(
-        classify(topo, cert.labels, key.first, key.second, route));
+        classify_route(topo, cert.labels, key.first, key.second, route));
     cert.all_legal = cert.all_legal && cert.routes.back().legal;
   }
   return cert;
@@ -150,7 +149,7 @@ bool check_legality(const topo::Topology& topo,
       continue;
     }
     const RouteLegality derived =
-        classify(topo, cert.labels, entry.src, entry.dst, it->second);
+        classify_route(topo, cert.labels, entry.src, entry.dst, it->second);
     if (derived.legal != entry.legal ||
         derived.offending_hop != entry.offending_hop ||
         (entry.legal && derived.apex_hop != entry.apex_hop)) {
@@ -224,14 +223,51 @@ DeadlockCertificate build_deadlock_certificate(
     return cert;
   }
 
-  // A cycle survives elimination. Walk successors inside the residual set
-  // until a channel repeats; the walk from the repeat point is the cycle.
+  // A cycle survives elimination. The residual set also holds "tails" —
+  // channels downstream of a cycle with no residual successor of their own
+  // (Kahn never freed them, but they cannot sit on a cycle). Peel them by
+  // reverse-Kahn on residual out-degree so the walk below always has a
+  // successor to follow.
   cert.deadlock_free = false;
   cert.topological_order.clear();
+  {
+    std::vector<std::size_t> out_degree(num_channels, 0);
+    std::vector<std::vector<std::size_t>> preds(num_channels);
+    for (std::size_t from = 0; from < num_channels; ++from) {
+      if (eliminated[from] || !participates[from]) {
+        continue;
+      }
+      for (const std::size_t to : deps[from]) {
+        if (!eliminated[to]) {
+          ++out_degree[from];
+          preds[to].push_back(from);
+        }
+      }
+    }
+    std::deque<std::size_t> dead_ends;
+    for (std::size_t c = 0; c < num_channels; ++c) {
+      if (participates[c] && !eliminated[c] && out_degree[c] == 0) {
+        dead_ends.push_back(c);
+      }
+    }
+    while (!dead_ends.empty()) {
+      const std::size_t c = dead_ends.front();
+      dead_ends.pop_front();
+      eliminated[c] = true;
+      for (const std::size_t from : preds[c]) {
+        if (!eliminated[from] && --out_degree[from] == 0) {
+          dead_ends.push_back(from);
+        }
+      }
+    }
+  }
   std::size_t start = 0;
   while (start < num_channels && (!participates[start] || eliminated[start])) {
     ++start;
   }
+  SANMAP_CHECK_MSG(start < num_channels, "cyclic graph peeled to nothing");
+  // Walk successors inside the residual set until a channel repeats; the
+  // walk from the repeat point is the cycle.
   std::vector<std::size_t> walk;
   std::vector<int> seen_at(num_channels, -1);
   std::size_t at = start;
@@ -356,7 +392,7 @@ void recompute_turns(const topo::Topology& topo, routing::HostRoute& route) {
 std::string inject_down_up_turn(const topo::Topology& topo,
                                 routing::RoutingResult& routes) {
   const std::vector<int> labels =
-      labels_from_root(topo, routes.orientation.root());
+      legality_labels(topo, routes.orientation.root());
   for (const topo::NodeId s : topo.switches()) {
     // Two hosts on s (detour endpoints) and a lex-greater neighbor switch t:
     // s -> t is then a down move and the return t -> s the illegal up.

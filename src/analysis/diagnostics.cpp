@@ -27,7 +27,8 @@ std::ostream& operator<<(std::ostream& os, Severity severity) {
 const std::vector<CodeInfo>& code_registry() {
   // Append-only. Codes group by hundreds: SL1xx UP*/DOWN* route legality,
   // SL2xx deadlock freedom, SL3xx model-graph well-formedness, SL4xx route
-  // quality. SL0xx are analyzer-level notes.
+  // quality, SL5xx serving staleness (enforced at the catalog publish
+  // gate). SL0xx are analyzer-level notes.
   static const std::vector<CodeInfo> registry = {
       {"SL001", Severity::kInfo, "route analysis skipped"},
       {"SL002", Severity::kInfo, "diagnostics suppressed past per-code cap"},
@@ -51,6 +52,11 @@ const std::vector<CodeInfo>& code_registry() {
       {"SL402", Severity::kError, "missing route for a live host pair"},
       {"SL403", Severity::kWarning, "per-link load imbalance"},
       {"SL404", Severity::kWarning, "route exceeds the hop limit"},
+      {"SL501", Severity::kError,
+       "quarantined region still in served route set"},
+      {"SL502", Severity::kError,
+       "snapshot epoch older than catalog head by more than the history "
+       "bound"},
   };
   return registry;
 }
@@ -92,22 +98,21 @@ void DiagnosticReport::add_with_severity(std::string_view code,
   }
   max_severity_ = std::max(max_severity_, severity);
 
-  auto it = std::find_if(
-      counts_.begin(), counts_.end(),
-      [&](const auto& entry) { return entry.first == code; });
-  if (it == counts_.end()) {
-    counts_.emplace_back(std::string(code), 0);
-    it = counts_.end() - 1;
-  }
-  const std::size_t seen = ++it->second;
-  if (seen == cap_ + 1) {
-    diagnostics_.push_back(Diagnostic{
-        "SL002", Severity::kInfo, std::string(code),
-        "further " + std::string(code) +
-            " findings suppressed (count() still tracks them all)",
-        ""});
-  }
+  CodeTally& tally = tally_for(code);
+  const std::size_t seen = ++tally.total;
   if (seen > cap_) {
+    switch (severity) {
+      case Severity::kInfo:
+        ++tally.suppressed_infos;
+        break;
+      case Severity::kWarning:
+        ++tally.suppressed_warnings;
+        break;
+      case Severity::kError:
+        ++tally.suppressed_errors;
+        break;
+    }
+    refresh_marker(tally);
     return;
   }
   diagnostics_.push_back(Diagnostic{std::string(code), severity,
@@ -115,21 +120,100 @@ void DiagnosticReport::add_with_severity(std::string_view code,
                                     std::move(hint)});
 }
 
+DiagnosticReport::CodeTally& DiagnosticReport::tally_for(
+    std::string_view code) {
+  auto it = std::find_if(
+      counts_.begin(), counts_.end(),
+      [&](const CodeTally& entry) { return entry.code == code; });
+  if (it == counts_.end()) {
+    counts_.push_back(CodeTally{std::string(code), 0, 0, 0, 0, -1});
+    it = counts_.end() - 1;
+  }
+  return *it;
+}
+
+void DiagnosticReport::refresh_marker(CodeTally& tally) {
+  const std::string message =
+      "further " + tally.code + " findings suppressed (" +
+      std::to_string(tally.suppressed()) + " hidden; count() tracks all " +
+      std::to_string(tally.total) + ")";
+  if (tally.marker_index < 0) {
+    tally.marker_index = static_cast<std::ptrdiff_t>(diagnostics_.size());
+    diagnostics_.push_back(
+        Diagnostic{"SL002", Severity::kInfo, tally.code, message, ""});
+    return;
+  }
+  diagnostics_[static_cast<std::size_t>(tally.marker_index)].message =
+      message;
+}
+
+void DiagnosticReport::absorb_suppressed(std::string_view code,
+                                         Severity severity, std::size_t n) {
+  if (n == 0) {
+    return;
+  }
+  switch (severity) {
+    case Severity::kInfo:
+      infos_ += n;
+      break;
+    case Severity::kWarning:
+      warnings_ += n;
+      break;
+    case Severity::kError:
+      errors_ += n;
+      break;
+  }
+  max_severity_ = std::max(max_severity_, severity);
+  CodeTally& tally = tally_for(code);
+  tally.total += n;
+  switch (severity) {
+    case Severity::kInfo:
+      tally.suppressed_infos += n;
+      break;
+    case Severity::kWarning:
+      tally.suppressed_warnings += n;
+      break;
+    case Severity::kError:
+      tally.suppressed_errors += n;
+      break;
+  }
+  refresh_marker(tally);
+}
+
 std::size_t DiagnosticReport::count(std::string_view code) const {
-  for (const auto& [key, n] : counts_) {
-    if (key == code) {
-      return n;
+  for (const CodeTally& tally : counts_) {
+    if (tally.code == code) {
+      return tally.total;
+    }
+  }
+  return 0;
+}
+
+std::size_t DiagnosticReport::suppressed(std::string_view code) const {
+  for (const CodeTally& tally : counts_) {
+    if (tally.code == code) {
+      return tally.suppressed();
     }
   }
   return 0;
 }
 
 void DiagnosticReport::merge(const DiagnosticReport& other) {
+  // Stored findings replay through the normal path (this report's own cap
+  // re-applies); findings the source suppressed exist only in its tallies,
+  // so transfer those per code and per severity — without this second step
+  // a merge silently shrank counts and severity totals (the old bug).
   for (const Diagnostic& d : other.diagnostics_) {
     if (d.code == "SL002") {
-      continue;  // suppression markers are re-derived by the cap below
+      continue;  // markers are re-derived from this report's own tallies
     }
     add_with_severity(d.code, d.severity, d.location, d.message, d.hint);
+  }
+  for (const CodeTally& tally : other.counts_) {
+    absorb_suppressed(tally.code, Severity::kError, tally.suppressed_errors);
+    absorb_suppressed(tally.code, Severity::kWarning,
+                      tally.suppressed_warnings);
+    absorb_suppressed(tally.code, Severity::kInfo, tally.suppressed_infos);
   }
 }
 

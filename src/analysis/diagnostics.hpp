@@ -84,7 +84,13 @@ class DiagnosticReport {
   /// Occurrences of `code` (including suppressed ones).
   [[nodiscard]] std::size_t count(std::string_view code) const;
 
+  /// Findings under `code` that were counted but not stored (cap overflow).
+  [[nodiscard]] std::size_t suppressed(std::string_view code) const;
+
   /// Merges another report into this one (caps re-applied per code).
+  /// Findings the source report suppressed past its own cap are carried
+  /// over into this report's per-code and per-severity tallies, so totals
+  /// never shrink across a merge.
   void merge(const DiagnosticReport& other);
 
   /// The CLI exit code contract: 0 clean/info, 1 warnings, 2 errors.
@@ -97,8 +103,34 @@ class DiagnosticReport {
   [[nodiscard]] std::string json() const;
 
  private:
+  /// Per-code bookkeeping. The cap and its SL002 marker are strictly
+  /// per-code: each code owns its tally, its own suppressed-by-severity
+  /// counts, and (once its cap trips) its own marker diagnostic, whose
+  /// message is kept in sync with the exact suppressed count.
+  struct CodeTally {
+    std::string code;
+    std::size_t total = 0;
+    std::size_t suppressed_errors = 0;
+    std::size_t suppressed_warnings = 0;
+    std::size_t suppressed_infos = 0;
+    /// Index of this code's SL002 marker in diagnostics_; -1 before the cap
+    /// trips. diagnostics_ is append-only, so the index stays valid.
+    std::ptrdiff_t marker_index = -1;
+
+    [[nodiscard]] std::size_t suppressed() const {
+      return suppressed_errors + suppressed_warnings + suppressed_infos;
+    }
+  };
+
+  CodeTally& tally_for(std::string_view code);
+  /// Counts `n` findings of (code, severity) without storing them, as if
+  /// they had been added and suppressed by the cap.
+  void absorb_suppressed(std::string_view code, Severity severity,
+                         std::size_t n);
+  void refresh_marker(CodeTally& tally);
+
   std::vector<Diagnostic> diagnostics_;
-  std::vector<std::pair<std::string, std::size_t>> counts_;
+  std::vector<CodeTally> counts_;
   std::size_t cap_ = 20;
   std::size_t errors_ = 0;
   std::size_t warnings_ = 0;

@@ -10,9 +10,10 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace sanmap::common {
 
@@ -33,13 +34,14 @@ class ThreadPool {
   /// Enqueues a job and returns a future for its result. Exceptions thrown by
   /// the job are captured in the future.
   template <typename F>
-  auto submit(F&& job) -> std::future<std::invoke_result_t<F>> {
+  auto submit(F&& job) -> std::future<std::invoke_result_t<F>>
+      SANMAP_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(job));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -48,16 +50,19 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// Exceptions from any invocation are rethrown (first one wins).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      SANMAP_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() SANMAP_EXCLUDES(mutex_);
 
+  /// Immutable after construction (the destructor joins; size() only reads).
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  /// condition_variable_any so it can wait on the annotated Mutex directly.
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_ SANMAP_GUARDED_BY(mutex_);
+  bool stopping_ SANMAP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace sanmap::common

@@ -1,6 +1,7 @@
 #include "service/map_catalog.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "analysis/analyzer.hpp"
@@ -18,13 +19,35 @@ bool MapCatalog::HealthStatus::quarantines(
                             switch_name);
 }
 
+void MapCatalog::set_gate_mode(GateMode mode) {
+  common::MutexLock lock(writer_mutex_);
+  if (mode == gate_mode_) {
+    return;
+  }
+  gate_mode_ = mode;
+  // Any mode switch invalidates the incremental baseline: the next gated
+  // candidate re-primes (and re-seeds the checker) via an escalated delta.
+  gate_state_ = analysis::AnalysisState{};
+  gate_checker_ = analysis::DeltaChecker{};
+}
+
+MapCatalog::GateMode MapCatalog::gate_mode() const {
+  common::MutexLock lock(writer_mutex_);
+  return gate_mode_;
+}
+
+MapCatalog::GateStats MapCatalog::gate_stats() const {
+  common::MutexLock lock(writer_mutex_);
+  return gate_stats_;
+}
+
 void MapCatalog::set_health(HealthStatus status) {
   std::sort(status.quarantined.begin(), status.quarantined.end());
   status.quarantined.erase(
       std::unique(status.quarantined.begin(), status.quarantined.end()),
       status.quarantined.end());
   auto fresh = std::make_shared<const HealthStatus>(std::move(status));
-  std::lock_guard<std::mutex> lock(health_mutex_);
+  common::MutexLock lock(health_mutex_);
   health_ = std::move(fresh);
 }
 
@@ -36,6 +59,105 @@ MapCatalog::PublishResult MapCatalog::publish_if_current(
     MapSnapshot snapshot, std::uint64_t based_on_epoch) {
   return publish_impl(std::move(snapshot), /*check_stale=*/true,
                       based_on_epoch);
+}
+
+namespace {
+
+/// Collects the ERROR-level diagnostics of a verdict.
+std::vector<analysis::Diagnostic> gate_errors_of(
+    const analysis::AnalysisResult& verdict) {
+  std::vector<analysis::Diagnostic> errors;
+  for (const analysis::Diagnostic& d : verdict.report.diagnostics()) {
+    if (d.severity == analysis::Severity::kError) {
+      errors.push_back(d);
+    }
+  }
+  return errors;
+}
+
+/// kParanoid cross-check: the incremental verdict must match the
+/// from-scratch one in every observable — diagnostics (byte-for-byte),
+/// the legality verdict, and the deadlock verdict.
+bool same_verdict(const analysis::AnalysisResult& a,
+                  const analysis::AnalysisResult& b) {
+  const auto& da = a.report.diagnostics();
+  const auto& db = b.report.diagnostics();
+  if (da.size() != db.size() || a.analyzed_routes != b.analyzed_routes) {
+    return false;
+  }
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    if (da[i].code != db[i].code || da[i].severity != db[i].severity ||
+        da[i].location != db[i].location || da[i].message != db[i].message ||
+        da[i].hint != db[i].hint) {
+      return false;
+    }
+  }
+  if (!a.analyzed_routes) {
+    return true;
+  }
+  return a.legality.all_legal == b.legality.all_legal &&
+         a.legality.labels == b.legality.labels &&
+         a.deadlock.deadlock_free == b.deadlock.deadlock_free &&
+         a.deadlock.dependencies == b.deadlock.dependencies;
+}
+
+}  // namespace
+
+void MapCatalog::lint_staleness(
+    const MapSnapshot& snapshot,
+    std::vector<analysis::Diagnostic>& errors) const {
+  // SL502: a snapshot carrying an epoch stamp (i.e. republished from the
+  // archive) that has fallen more than the history window behind the head
+  // — old enough that no reader could still compare against it.
+  const SnapshotPtr head = current_.load(std::memory_order_acquire);
+  const std::uint64_t head_epoch = head ? head->epoch : 0;
+  if (snapshot.epoch != 0 && snapshot.epoch + history_limit_ < head_epoch) {
+    errors.push_back(analysis::Diagnostic{
+        "SL502", analysis::Severity::kError,
+        "epoch " + std::to_string(snapshot.epoch),
+        "snapshot epoch " + std::to_string(snapshot.epoch) + " is more than " +
+            std::to_string(history_limit_) +
+            " epochs behind the catalog head (" +
+            std::to_string(head_epoch) + ")",
+        "recompute the snapshot against the current fabric instead of "
+        "republishing an archived epoch"});
+  }
+
+  // SL501: an active quarantine, and a candidate built before the
+  // quarantine was declared whose routes still cross a quarantined switch.
+  // Such a candidate cannot have observed the fault that triggered the
+  // quarantine; serving its routes would send traffic straight back into
+  // the bad region.
+  HealthPtr health;
+  {
+    common::MutexLock lock(health_mutex_);
+    health = health_;
+  }
+  if (health->state == HealthState::kFresh || health->quarantined.empty() ||
+      snapshot.created_at > health->checked_at) {
+    return;
+  }
+  std::vector<std::string> routed;
+  for (const auto& [key, route] : snapshot.routes.routes) {
+    for (const topo::NodeId n : route.nodes) {
+      if (snapshot.map.is_switch(n)) {
+        routed.push_back(snapshot.map.name(n));
+      }
+    }
+  }
+  std::sort(routed.begin(), routed.end());
+  routed.erase(std::unique(routed.begin(), routed.end()), routed.end());
+  for (const std::string& name : health->quarantined) {
+    if (std::binary_search(routed.begin(), routed.end(), name)) {
+      errors.push_back(analysis::Diagnostic{
+          "SL501", analysis::Severity::kError, name,
+          "switch " + name +
+              " is quarantined but the candidate's route set (built before "
+              "the quarantine) still routes through it",
+          "remap against the live fabric so the candidate reflects the "
+          "quarantined breakage"});
+    }
+  }
 }
 
 MapCatalog::PublishResult MapCatalog::publish_impl(
@@ -51,36 +173,134 @@ MapCatalog::PublishResult MapCatalog::publish_impl(
     return PublishResult{PublishStatus::kRejectedUnsafe, epoch(), {}};
   }
 
-  // Then the full static pass: legality + deadlock certificates and the
-  // structural lints. This catches snapshots whose flags were set by a
-  // buggy (or bypassed) builder — the catalog re-derives the verdict from
-  // the map and routes themselves and refuses on any ERROR diagnostic.
-  analysis::AnalysisResult verdict =
-      analysis::analyze(snapshot.map, snapshot.routes);
-  if (!verdict.clean()) {
-    rejected_unsafe_.fetch_add(1, std::memory_order_relaxed);
-    std::vector<analysis::Diagnostic> errors;
-    for (const analysis::Diagnostic& d : verdict.report.diagnostics()) {
-      if (d.severity == analysis::Severity::kError) {
-        errors.push_back(d);
-      }
+  // kFull derives the verdict before taking the writer lock (the analyzer
+  // is the expensive part; readers of at_epoch()/history should not queue
+  // behind it). The incremental modes derive it under the lock instead —
+  // the AnalysisState baseline is writer state, and the dirty-region pass
+  // is exactly the cheap path that can afford to hold it.
+  std::optional<analysis::AnalysisResult> verdict;
+  if (gate_mode() == GateMode::kFull) {
+    // The full static pass: legality + deadlock certificates and the
+    // structural lints. This catches snapshots whose flags were set by a
+    // buggy (or bypassed) builder — the catalog re-derives the verdict
+    // from the map and routes themselves and refuses on any ERROR.
+    verdict = analysis::analyze(snapshot.map, snapshot.routes);
+    if (!verdict->clean()) {
+      rejected_unsafe_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<analysis::Diagnostic> errors = gate_errors_of(*verdict);
+      SANMAP_LOG(kWarning, "map-catalog",
+                 "refusing snapshot from "
+                     << snapshot.options.source << ": static analysis found "
+                     << errors.size() << " error(s), first: "
+                     << (errors.empty() ? "?" : errors.front().code));
+      PublishResult result{PublishStatus::kRejectedUnsafe, epoch(), {}};
+      result.gate_errors = std::move(errors);
+      return result;
     }
-    SANMAP_LOG(kWarning, "map-catalog",
-               "refusing snapshot from "
-                   << snapshot.options.source << ": static analysis found "
-                   << errors.size() << " error(s), first: "
-                   << (errors.empty() ? "?" : errors.front().code));
-    PublishResult result{PublishStatus::kRejectedUnsafe, epoch(), {}};
-    result.gate_errors = std::move(errors);
-    return result;
   }
 
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  common::MutexLock lock(writer_mutex_);
   const SnapshotPtr old = current_.load(std::memory_order_acquire);
   const std::uint64_t current_epoch = old ? old->epoch : 0;
   if (check_stale && current_epoch != based_on_epoch) {
     rejected_stale_.fetch_add(1, std::memory_order_relaxed);
     return PublishResult{PublishStatus::kRejectedStale, current_epoch, {}};
+  }
+
+  // The SL5xx staleness lints gate every mode: they depend on catalog
+  // state (quarantine, history window), not on the analyzer.
+  {
+    std::vector<analysis::Diagnostic> stale_errors;
+    lint_staleness(snapshot, stale_errors);
+    if (!stale_errors.empty()) {
+      ++gate_stats_.rejected_stale_lints;
+      rejected_unsafe_.fetch_add(1, std::memory_order_relaxed);
+      SANMAP_LOG(kWarning, "map-catalog",
+                 "refusing snapshot from " << snapshot.options.source << ": "
+                                           << stale_errors.front().code << " "
+                                           << stale_errors.front().message);
+      PublishResult result{PublishStatus::kRejectedUnsafe, current_epoch, {}};
+      result.gate_errors = std::move(stale_errors);
+      return result;
+    }
+  }
+
+  // The incremental verdict: dirty-region re-analysis against the last
+  // gated candidate, with every CertificateDelta re-proved by the
+  // independent checker. A refused delta forces a full re-prime — the
+  // builder is never trusted past what the checker re-derived.
+  if (gate_mode_ != GateMode::kFull) {
+    analysis::AnalysisState::Result inc =
+        gate_state_.reanalyze(snapshot.map, snapshot.routes);
+    std::vector<std::string> why;
+    bool proved = gate_checker_.check(snapshot.map, snapshot.routes,
+                                      inc.analysis, inc.delta, &why);
+    if (!proved) {
+      ++gate_stats_.checker_rejections;
+      SANMAP_LOG(kWarning, "map-catalog",
+                 "delta checker refused the incremental verdict ("
+                     << (why.empty() ? "?" : why.front())
+                     << "); escalating to a full re-analysis");
+      inc = gate_state_.reset(snapshot.map, snapshot.routes,
+                              analysis::EscalationReason::kCheckerRejected);
+      why.clear();
+      proved = gate_checker_.check(snapshot.map, snapshot.routes,
+                                   inc.analysis, inc.delta, &why);
+    }
+    if (!proved) {
+      // Even the from-scratch certificates failed their independent
+      // recheck: refuse outright.
+      rejected_unsafe_.fetch_add(1, std::memory_order_relaxed);
+      PublishResult result{PublishStatus::kRejectedUnsafe, current_epoch, {}};
+      result.gate_errors.push_back(analysis::Diagnostic{
+          "SL202", analysis::Severity::kError, "publish gate",
+          why.empty() ? "certificate recheck failed" : why.front(), ""});
+      return result;
+    }
+    if (inc.delta.escalated_full) {
+      ++gate_stats_.incremental_escalated;
+    } else {
+      ++gate_stats_.incremental_fast;
+    }
+    verdict = std::move(inc.analysis);
+
+    if (gate_mode_ == GateMode::kParanoid) {
+      analysis::AnalysisResult full =
+          analysis::analyze(snapshot.map, snapshot.routes);
+      if (!same_verdict(*verdict, full)) {
+        ++gate_stats_.paranoid_divergences;
+        SANMAP_LOG(kError, "map-catalog",
+                   "paranoid gate: incremental verdict diverged from the "
+                   "from-scratch analysis; trusting the latter");
+        verdict = std::move(full);
+        // The baseline is suspect: drop it so the next candidate re-primes.
+        gate_state_ = analysis::AnalysisState{};
+        gate_checker_ = analysis::DeltaChecker{};
+      }
+    }
+    if (!verdict->clean()) {
+      rejected_unsafe_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<analysis::Diagnostic> errors = gate_errors_of(*verdict);
+      SANMAP_LOG(kWarning, "map-catalog",
+                 "refusing snapshot from "
+                     << snapshot.options.source << ": incremental gate found "
+                     << errors.size() << " error(s), first: "
+                     << (errors.empty() ? "?" : errors.front().code));
+      PublishResult result{PublishStatus::kRejectedUnsafe, current_epoch, {}};
+      result.gate_errors = std::move(errors);
+      return result;
+    }
+  } else if (!verdict.has_value()) {
+    // The mode flipped to kFull between the pre-lock check and acquiring
+    // the writer lock; derive the verdict here (the rare race pays the
+    // analyzer under the lock once).
+    verdict = analysis::analyze(snapshot.map, snapshot.routes);
+    if (!verdict->clean()) {
+      rejected_unsafe_.fetch_add(1, std::memory_order_relaxed);
+      PublishResult result{PublishStatus::kRejectedUnsafe, current_epoch, {}};
+      result.gate_errors = gate_errors_of(*verdict);
+      return result;
+    }
   }
 
   snapshot.epoch = next_epoch_++;
@@ -96,7 +316,7 @@ MapCatalog::PublishResult MapCatalog::publish_impl(
   HealthStatus fresh;
   fresh.checked_at = published->created_at;
   {
-    std::lock_guard<std::mutex> health_lock(health_mutex_);
+    common::MutexLock health_lock(health_mutex_);
     health_ = std::make_shared<const HealthStatus>(std::move(fresh));
   }
   published_.fetch_add(1, std::memory_order_relaxed);
@@ -104,7 +324,7 @@ MapCatalog::PublishResult MapCatalog::publish_impl(
 }
 
 SnapshotPtr MapCatalog::at_epoch(std::uint64_t epoch) const {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  common::MutexLock lock(writer_mutex_);
   for (const SnapshotPtr& snap : history_) {
     if (snap->epoch == epoch) {
       return snap;
@@ -114,7 +334,7 @@ SnapshotPtr MapCatalog::at_epoch(std::uint64_t epoch) const {
 }
 
 std::vector<std::uint64_t> MapCatalog::history_epochs() const {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  common::MutexLock lock(writer_mutex_);
   std::vector<std::uint64_t> epochs;
   epochs.reserve(history_.size());
   for (const SnapshotPtr& snap : history_) {

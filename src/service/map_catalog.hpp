@@ -44,7 +44,9 @@
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
+#include "analysis/incremental.hpp"
 #include "common/sim_time.hpp"
+#include "common/thread_annotations.hpp"
 #include "service/snapshot.hpp"
 
 namespace sanmap::service {
@@ -54,6 +56,29 @@ class MapCatalog {
   /// Keeps the most recent `history_limit` published snapshots reachable
   /// via at_epoch() (current is always reachable regardless).
   explicit MapCatalog(std::size_t history_limit = 8);
+
+  /// How the safety gate derives its verdict for each candidate snapshot.
+  enum class GateMode : std::uint8_t {
+    /// From-scratch analysis of every candidate (the default, and the
+    /// escalation path of the other two modes).
+    kFull,
+    /// Incremental: an AnalysisState diffs each candidate against the
+    /// previously published one and re-analyzes only the dirty closure; an
+    /// independent DeltaChecker re-proves every CertificateDelta without
+    /// trusting the analysis state. A refused delta escalates to a full
+    /// re-prime (and counts in GateStats::checker_rejections) — the
+    /// incremental path can only ever cost accuracy zero, never safety.
+    kIncremental,
+    /// Paranoid: the incremental verdict AND a from-scratch analysis on
+    /// every candidate, cross-checked; a divergence is counted, logged,
+    /// and resolved in favor of the from-scratch verdict.
+    kParanoid,
+  };
+
+  /// Selects the gate mode. Safe to call at any time; takes effect for the
+  /// next publish. The incremental state is reset when leaving kFull.
+  void set_gate_mode(GateMode mode) SANMAP_EXCLUDES(writer_mutex_);
+  [[nodiscard]] GateMode gate_mode() const SANMAP_EXCLUDES(writer_mutex_);
 
   enum class PublishStatus : std::uint8_t {
     kPublished,
@@ -82,12 +107,14 @@ class MapCatalog {
   /// Publishes unconditionally (no staleness check): assigns the next
   /// epoch, swaps `current`, and records history. Still refuses unsafe
   /// snapshots.
-  PublishResult publish(MapSnapshot snapshot);
+  PublishResult publish(MapSnapshot snapshot)
+      SANMAP_EXCLUDES(writer_mutex_, health_mutex_);
 
   /// Compare-and-publish: succeeds only while the current epoch is still
   /// `based_on_epoch` (0 = publishing the first snapshot ever).
   PublishResult publish_if_current(MapSnapshot snapshot,
-                                   std::uint64_t based_on_epoch);
+                                   std::uint64_t based_on_epoch)
+      SANMAP_EXCLUDES(writer_mutex_, health_mutex_);
 
   /// The current snapshot — one lock-free atomic load. Null until the
   /// first publish.
@@ -134,20 +161,22 @@ class MapCatalog {
   /// TSan cannot order against the next writer's store — the TSan CI job
   /// flags it. Health is read once per query (or per batch chunk), so a
   /// plain mutex here costs nanoseconds and is provably clean.
-  [[nodiscard]] HealthPtr health() const {
-    std::lock_guard<std::mutex> lock(health_mutex_);
+  [[nodiscard]] HealthPtr health() const SANMAP_EXCLUDES(health_mutex_) {
+    common::MutexLock lock(health_mutex_);
     return health_;
   }
 
   /// Writer-side: replaces the health status (sorts/dedups the quarantine
   /// set). Publishing a snapshot resets health to kFresh implicitly.
-  void set_health(HealthStatus status);
+  void set_health(HealthStatus status) SANMAP_EXCLUDES(health_mutex_);
 
   /// A recent snapshot by epoch, if still within the history window.
-  [[nodiscard]] SnapshotPtr at_epoch(std::uint64_t epoch) const;
+  [[nodiscard]] SnapshotPtr at_epoch(std::uint64_t epoch) const
+      SANMAP_EXCLUDES(writer_mutex_);
 
   /// Epochs currently retrievable through at_epoch(), oldest first.
-  [[nodiscard]] std::vector<std::uint64_t> history_epochs() const;
+  [[nodiscard]] std::vector<std::uint64_t> history_epochs() const
+      SANMAP_EXCLUDES(writer_mutex_);
 
   struct Stats {
     std::uint64_t published = 0;
@@ -160,9 +189,33 @@ class MapCatalog {
                  rejected_stale_.load(std::memory_order_relaxed)};
   }
 
+  /// How the incremental gate has been doing (all zero under kFull).
+  struct GateStats {
+    /// Candidates whose verdict came off the dirty-region fast path.
+    std::uint64_t incremental_fast = 0;
+    /// Candidates the AnalysisState escalated to a full re-analysis.
+    std::uint64_t incremental_escalated = 0;
+    /// Deltas the independent checker refused (each forces a reset +
+    /// re-proved full analysis; a rejection is not a publish failure).
+    std::uint64_t checker_rejections = 0;
+    /// kParanoid only: incremental and from-scratch verdicts disagreed.
+    std::uint64_t paranoid_divergences = 0;
+    /// Candidates refused by the SL501/SL502 staleness lints.
+    std::uint64_t rejected_stale_lints = 0;
+  };
+  [[nodiscard]] GateStats gate_stats() const SANMAP_EXCLUDES(writer_mutex_);
+
  private:
   PublishResult publish_impl(MapSnapshot snapshot, bool check_stale,
-                             std::uint64_t based_on_epoch);
+                             std::uint64_t based_on_epoch)
+      SANMAP_EXCLUDES(writer_mutex_, health_mutex_);
+
+  /// The SL5xx staleness lints, evaluated under writer_mutex_ against the
+  /// catalog's own state (quarantine + history window). Appends ERROR
+  /// diagnostics for violations.
+  void lint_staleness(const MapSnapshot& snapshot,
+                      std::vector<analysis::Diagnostic>& errors) const
+      SANMAP_REQUIRES(writer_mutex_) SANMAP_EXCLUDES(health_mutex_);
 
   /// The hot pointer readers load. Writers store under writer_mutex_.
   /// Note for TSan runs: libstdc++'s atomic<shared_ptr> unlocks its
@@ -171,14 +224,23 @@ class MapCatalog {
   /// targeted suppression and the full explanation.
   std::atomic<SnapshotPtr> current_{nullptr};
   /// Health readers copy under health_mutex_ (see health()). Never null.
-  mutable std::mutex health_mutex_;
-  HealthPtr health_;
+  mutable common::Mutex health_mutex_;
+  HealthPtr health_ SANMAP_GUARDED_BY(health_mutex_);
 
-  /// Serializes publishers and guards history_ / next_epoch_.
-  mutable std::mutex writer_mutex_;
-  std::deque<SnapshotPtr> history_;
-  std::size_t history_limit_;
-  std::uint64_t next_epoch_ = 1;
+  /// Serializes publishers and guards history_ / next_epoch_ and the
+  /// incremental gate state below.
+  mutable common::Mutex writer_mutex_;
+  std::deque<SnapshotPtr> history_ SANMAP_GUARDED_BY(writer_mutex_);
+  std::size_t history_limit_ SANMAP_GUARDED_BY(writer_mutex_);
+  std::uint64_t next_epoch_ SANMAP_GUARDED_BY(writer_mutex_) = 1;
+
+  GateMode gate_mode_ SANMAP_GUARDED_BY(writer_mutex_) = GateMode::kFull;
+  /// Incremental gate (kIncremental / kParanoid): the builder side diffs
+  /// candidates against the last published snapshot; the checker side
+  /// re-proves its deltas independently. Both live under writer_mutex_.
+  analysis::AnalysisState gate_state_ SANMAP_GUARDED_BY(writer_mutex_);
+  analysis::DeltaChecker gate_checker_ SANMAP_GUARDED_BY(writer_mutex_);
+  GateStats gate_stats_ SANMAP_GUARDED_BY(writer_mutex_);
 
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> rejected_unsafe_{0};

@@ -93,9 +93,26 @@ RefreshLoop::RefreshLoop(simnet::Network& net, MapCatalog& catalog,
     config_.robust.base.search_depth =
         topo::search_depth(net.topology(), master_) + 2;
   }
+  // The loop is the catalog's writer; it owns the gate-mode decision. The
+  // incremental gate mirrors the remap pipeline's localize→splice→validate
+  // shape on the analysis side; --paranoid cross-checks it with a
+  // from-scratch analysis per candidate.
+  catalog_->set_gate_mode(config_.paranoid
+                              ? MapCatalog::GateMode::kParanoid
+                              : MapCatalog::GateMode::kIncremental);
 }
 
 TickReport RefreshLoop::bootstrap() {
+  common::MutexLock lock(mutex_);
+  return bootstrap_locked();
+}
+
+TickReport RefreshLoop::tick() {
+  common::MutexLock lock(mutex_);
+  return tick_locked();
+}
+
+TickReport RefreshLoop::bootstrap_locked() {
   TickReport report;
   report.epoch_before = catalog_->epoch();
   remap_and_publish(report.epoch_before, nullptr, {}, report);
@@ -105,11 +122,11 @@ TickReport RefreshLoop::bootstrap() {
   return report;
 }
 
-TickReport RefreshLoop::tick() {
+TickReport RefreshLoop::tick_locked() {
   const SnapshotPtr snapshot = catalog_->current();
   if (!snapshot) {
     now_ += config_.check_interval;
-    return bootstrap();
+    return bootstrap_locked();
   }
 
   TickReport report;

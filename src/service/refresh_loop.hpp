@@ -30,11 +30,16 @@
 // is exhausted). While damped, the loop still downgrades catalog health so
 // readers see the staleness.
 //
-// Threading: one RefreshLoop instance is single-threaded (Network and
-// ProbeEngine are not thread-safe) and is the catalog's writer; any number
-// of RouteQueryEngine readers run concurrently against the catalog. That
-// split — exclusive probing, lock-free reading — is the whole concurrency
-// design of the service.
+// Threading: one RefreshLoop instance is the catalog's single writer; any
+// number of RouteQueryEngine readers run concurrently against the catalog.
+// That split — exclusive probing, lock-free reading — is the whole
+// concurrency design of the service. The writer role is formalized by an
+// internal mutex: ticks serialize (an accidental concurrent tick() queues
+// instead of racing the clock and the storm dampers), and clang's
+// -Wthread-safety proves every access to the tick-side state happens on the
+// locked writer path. The intended usage is still one thread — Network and
+// ProbeEngine are shared with code outside the loop and are not themselves
+// thread-safe.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +47,7 @@
 #include <vector>
 
 #include "common/sim_time.hpp"
+#include "common/thread_annotations.hpp"
 #include "mapper/robust_mapper.hpp"
 #include "probe/probe_engine.hpp"
 #include "routing/distribute.hpp"
@@ -77,6 +83,14 @@ struct RefreshConfig {
   /// BFS expansion (in switch hops over the previous map) around the dirty
   /// seed switches. 0 sweeps only the seeds themselves.
   int dirty_radius = 1;
+
+  // -- publish gate ----------------------------------------------------------
+  /// The loop configures its catalog's safety gate at construction:
+  /// incremental by default (dirty-region re-analysis with independently
+  /// re-proved certificate deltas; full analysis stays as the escalation
+  /// path), or paranoid (`sanmap serve --paranoid`): the incremental
+  /// verdict AND a from-scratch analysis on every candidate, cross-checked.
+  bool paranoid = false;
 
   // -- remap storm damping --------------------------------------------------
   /// Pause before the next remap after each consecutive breakage tick,
@@ -157,20 +171,29 @@ class RefreshLoop {
 
   /// Maps the fabric from scratch and publishes the first snapshot (or a
   /// fresh one if the catalog already has epochs).
-  TickReport bootstrap();
+  TickReport bootstrap() SANMAP_EXCLUDES(mutex_);
 
   /// One watch cycle: advance the clock, health-check the current
   /// snapshot's routes, and localize + remap + verify + distribute +
   /// publish when anything broke. Bootstraps if the catalog is empty.
-  TickReport tick();
+  TickReport tick() SANMAP_EXCLUDES(mutex_);
 
   /// Runs `ticks` cycles; returns one report per tick.
-  std::vector<TickReport> run(int ticks);
+  std::vector<TickReport> run(int ticks) SANMAP_EXCLUDES(mutex_);
 
   /// The loop's virtual clock (advances across ticks and remaps).
-  [[nodiscard]] common::SimTime now() const { return now_; }
+  [[nodiscard]] common::SimTime now() const SANMAP_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
+    return now_;
+  }
 
  private:
+  /// The bodies of bootstrap()/tick(), on the locked writer path (tick
+  /// bootstraps an empty catalog itself, so the lock is taken once at the
+  /// public entry points).
+  TickReport bootstrap_locked() SANMAP_REQUIRES(mutex_);
+  TickReport tick_locked() SANMAP_REQUIRES(mutex_);
+
   /// Dirty-region localization: greedy hitting set over the broken routes'
   /// path switches, expanded by config_.dirty_radius BFS hops over the
   /// snapshot's map. Returns snapshot-map switch ids.
@@ -183,10 +206,11 @@ class RefreshLoop {
   void remap_and_publish(std::uint64_t based_on_epoch,
                          const SnapshotPtr& previous,
                          const std::vector<topo::NodeId>& dirty,
-                         TickReport& report);
+                         TickReport& report) SANMAP_REQUIRES(mutex_);
 
   /// Full RobustMapper session against the live fabric.
-  [[nodiscard]] topo::Topology full_remap(TickReport& report);
+  [[nodiscard]] topo::Topology full_remap(TickReport& report)
+      SANMAP_REQUIRES(mutex_);
 
   /// Verify, distribute, and publish one candidate map. Returns true when
   /// it became current. `record_rejection` feeds refused snapshots to the
@@ -194,25 +218,30 @@ class RefreshLoop {
   /// rung escalates silently instead).
   bool try_publish(const topo::Topology& map, std::uint64_t based_on_epoch,
                    const char* source, bool record_rejection,
-                   TickReport& report);
+                   TickReport& report) SANMAP_REQUIRES(mutex_);
 
   /// Downgrade catalog health, quarantining `dirty` (snapshot-map ids of
   /// `snapshot`'s map).
   void set_health(MapCatalog::HealthState state, const MapSnapshot* snapshot,
-                  const std::vector<topo::NodeId>& dirty);
+                  const std::vector<topo::NodeId>& dirty)
+      SANMAP_REQUIRES(mutex_);
 
+  // Immutable after construction.
   simnet::Network* net_;
   MapCatalog* catalog_;
   RefreshConfig config_;
   topo::NodeId master_;
-  probe::ProbeEngine engine_;
-  common::SimTime now_{};
+
+  /// The writer-role lock: everything a tick mutates lives under it.
+  mutable common::Mutex mutex_;
+  probe::ProbeEngine engine_ SANMAP_GUARDED_BY(mutex_);
+  common::SimTime now_ SANMAP_GUARDED_BY(mutex_){};
 
   // Storm-damper state.
-  int consecutive_remaps_ = 0;
-  common::SimTime backoff_until_{};
-  common::SimTime budget_window_start_{};
-  std::uint64_t budget_window_probes_ = 0;
+  int consecutive_remaps_ SANMAP_GUARDED_BY(mutex_) = 0;
+  common::SimTime backoff_until_ SANMAP_GUARDED_BY(mutex_){};
+  common::SimTime budget_window_start_ SANMAP_GUARDED_BY(mutex_){};
+  std::uint64_t budget_window_probes_ SANMAP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace sanmap::service

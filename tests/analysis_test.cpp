@@ -81,6 +81,78 @@ TEST(Diagnostics, PerCodeCapSuppressesStorageButNotCounting) {
   EXPECT_TRUE(suppression_note);
 }
 
+TEST(Diagnostics, CapIsStrictlyPerCode) {
+  // Regression: the cap (and its SL002 marker) must track each code
+  // independently — a flood of SL301 findings must not eat SL303's storage
+  // budget, and each flooded code gets its own marker.
+  analysis::DiagnosticReport report;
+  report.set_cap(3);
+  for (int i = 0; i < 10; ++i) {
+    report.add("SL301", "wire " + std::to_string(i), "dangling");
+    report.add("SL303", "wire " + std::to_string(i), "self-wired");
+  }
+  report.add("SL307", "node s1", "isolated");  // under cap: untouched
+  EXPECT_EQ(report.count("SL301"), 10u);
+  EXPECT_EQ(report.count("SL303"), 10u);
+  EXPECT_EQ(report.count("SL307"), 1u);
+  std::size_t stored301 = 0;
+  std::size_t stored303 = 0;
+  std::size_t stored307 = 0;
+  std::vector<std::string> markers;
+  for (const auto& d : report.diagnostics()) {
+    stored301 += d.code == "SL301" ? 1u : 0u;
+    stored303 += d.code == "SL303" ? 1u : 0u;
+    stored307 += d.code == "SL307" ? 1u : 0u;
+    if (d.code == "SL002") {
+      markers.push_back(d.location);
+      EXPECT_EQ(d.message, "further " + d.location +
+                               " findings suppressed (7 hidden; count() "
+                               "tracks all 10)");
+    }
+  }
+  EXPECT_EQ(stored301, 3u);
+  EXPECT_EQ(stored303, 3u);
+  EXPECT_EQ(stored307, 1u);
+  EXPECT_EQ(markers, (std::vector<std::string>{"SL301", "SL303"}));
+}
+
+TEST(Diagnostics, MergeReappliesCapStrictlyPerCode) {
+  // Regression: merging must re-apply the per-code cap — findings the
+  // source report suppressed stay counted, the destination stores at most
+  // cap entries per code, and the marker's arithmetic reflects the merged
+  // totals.
+  analysis::DiagnosticReport a;
+  a.set_cap(3);
+  for (int i = 0; i < 6; ++i) {
+    a.add("SL301", "wire a" + std::to_string(i), "dangling");
+  }
+  analysis::DiagnosticReport b;
+  b.set_cap(3);
+  for (int i = 0; i < 6; ++i) {
+    b.add("SL301", "wire b" + std::to_string(i), "dangling");
+    b.add("SL304", "node h" + std::to_string(i), "multi-wired host");
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count("SL301"), 12u);
+  EXPECT_EQ(a.count("SL304"), 6u);
+  EXPECT_EQ(a.errors(), 18u);
+  std::size_t stored301 = 0;
+  std::size_t stored304 = 0;
+  std::string marker301;
+  for (const auto& d : a.diagnostics()) {
+    stored301 += d.code == "SL301" ? 1u : 0u;
+    stored304 += d.code == "SL304" ? 1u : 0u;
+    if (d.code == "SL002" && d.location == "SL301") {
+      marker301 = d.message;
+    }
+  }
+  EXPECT_EQ(stored301, 3u);
+  EXPECT_EQ(stored304, 3u);
+  EXPECT_EQ(marker301,
+            "further SL301 findings suppressed (9 hidden; count() tracks "
+            "all 12)");
+}
+
 // ------------------------------------------------------------ certificates
 
 std::vector<topo::Topology> healthy_fabrics() {

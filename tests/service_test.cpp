@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "analysis/certificates.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -127,6 +128,123 @@ TEST(MapCatalog, RefusesUnsafeSnapshots) {
   EXPECT_EQ(outcome.epoch, 1u);          // the surviving epoch
   EXPECT_EQ(catalog.epoch(), 1u);        // current unchanged
   EXPECT_EQ(catalog.stats().rejected_unsafe, 1u);
+}
+
+TEST(MapCatalog, IncrementalGatePublishesAndRefusesLikeFull) {
+  Topology t = topo::torus(3, 3, 1);
+  MapCatalog catalog;
+  catalog.set_gate_mode(MapCatalog::GateMode::kIncremental);
+  ASSERT_EQ(catalog.gate_mode(), MapCatalog::GateMode::kIncremental);
+
+  // A run of healthy candidates under wire churn: every one gated
+  // incrementally (fast or escalated — both must land), none rejected.
+  ASSERT_TRUE(catalog.publish(make_snapshot(t, 1)).published());
+  t.disconnect(switch_wire(t));
+  ASSERT_TRUE(catalog.publish(make_snapshot(t, 2)).published());
+  ASSERT_TRUE(catalog.publish(make_snapshot(t, 3)).published());
+  const auto stats = catalog.gate_stats();
+  EXPECT_EQ(stats.incremental_fast + stats.incremental_escalated, 3u);
+  EXPECT_EQ(stats.checker_rejections, 0u);
+
+  // A candidate whose route table breaks the UP*/DOWN* rule (the build
+  // verdict flags still say safe — only re-analysis can catch it) must be
+  // refused with the offending diagnostics attached.
+  MapSnapshot bad = make_snapshot(t, 4);
+  ASSERT_FALSE(analysis::inject_down_up_turn(bad.map, bad.routes).empty());
+  ASSERT_TRUE(bad.deadlock_free && bad.compliant);
+  const auto refused = catalog.publish(std::move(bad));
+  EXPECT_EQ(refused.status, MapCatalog::PublishStatus::kRejectedUnsafe);
+  ASSERT_FALSE(refused.gate_errors.empty());
+  bool has_route_error = false;
+  for (const auto& d : refused.gate_errors) {
+    has_route_error =
+        has_route_error || d.code == "SL101" || d.code == "SL201";
+  }
+  EXPECT_TRUE(has_route_error);
+
+  // The gate recovers: the next healthy candidate publishes.
+  EXPECT_TRUE(catalog.publish(make_snapshot(t, 5)).published());
+  EXPECT_EQ(catalog.epoch(), 4u);
+}
+
+TEST(MapCatalog, ParanoidGateCrossChecksWithoutDivergence) {
+  Topology t = topo::torus(3, 3, 1);
+  MapCatalog catalog;
+  catalog.set_gate_mode(MapCatalog::GateMode::kParanoid);
+  ASSERT_TRUE(catalog.publish(make_snapshot(t, 1)).published());
+  t.disconnect(switch_wire(t));
+  ASSERT_TRUE(catalog.publish(make_snapshot(t, 2)).published());
+  ASSERT_TRUE(catalog.publish(make_snapshot(t, 3)).published());
+  EXPECT_EQ(catalog.gate_stats().paranoid_divergences, 0u);
+}
+
+TEST(MapCatalog, SL502RefusesRepublishingAnArchivedEpoch) {
+  const Topology t = topo::torus(3, 3, 1);
+  MapCatalog catalog(/*history_limit=*/2);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(catalog.publish(make_snapshot(t, i)).published());
+  }
+  ASSERT_EQ(catalog.epoch(), 5u);
+
+  // An archived snapshot still carries its old epoch stamp; epoch 1 is
+  // more than history_limit behind the head.
+  MapSnapshot archived = make_snapshot(t, 1);
+  archived.epoch = 1;
+  const auto refused = catalog.publish(std::move(archived));
+  EXPECT_EQ(refused.status, MapCatalog::PublishStatus::kRejectedUnsafe);
+  ASSERT_EQ(refused.gate_errors.size(), 1u);
+  EXPECT_EQ(refused.gate_errors.front().code, "SL502");
+  EXPECT_EQ(catalog.gate_stats().rejected_stale_lints, 1u);
+  EXPECT_EQ(catalog.epoch(), 5u);
+
+  // Epoch 4 is within the window: republishable (it gets a new epoch).
+  MapSnapshot recent = make_snapshot(t, 4);
+  recent.epoch = 4;
+  EXPECT_TRUE(catalog.publish(std::move(recent)).published());
+}
+
+TEST(MapCatalog, SL501RefusesPreQuarantineCandidates) {
+  const Topology t = topo::torus(3, 3, 1);
+  MapCatalog catalog;
+  ASSERT_TRUE(catalog.publish(make_snapshot(t)).published());
+
+  // Quarantine a switch that the all-pairs route set traverses.
+  const SnapshotPtr current = catalog.current();
+  std::string victim;
+  for (const auto& [key, route] : current->routes.routes) {
+    for (const NodeId n : route.nodes) {
+      if (current->map.is_switch(n)) {
+        victim = current->map.name(n);
+        break;
+      }
+    }
+    if (!victim.empty()) {
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  MapCatalog::HealthStatus health;
+  health.state = MapCatalog::HealthState::kStaleServing;
+  health.quarantined = {victim};
+  health.checked_at = SimTime::ms(100);
+  catalog.set_health(std::move(health));
+
+  // A candidate built BEFORE the quarantine was declared cannot have
+  // observed the fault; SL501 refuses it.
+  SnapshotOptions options;
+  options.source = "test";
+  MapSnapshot stale = build_snapshot(t, options, SimTime::ms(50));
+  const auto refused = catalog.publish(std::move(stale));
+  EXPECT_EQ(refused.status, MapCatalog::PublishStatus::kRejectedUnsafe);
+  ASSERT_FALSE(refused.gate_errors.empty());
+  EXPECT_EQ(refused.gate_errors.front().code, "SL501");
+  EXPECT_EQ(refused.gate_errors.front().location, victim);
+
+  // A candidate built AFTER the quarantine has seen the fabric since the
+  // downgrade; it publishes (and resets health to fresh).
+  MapSnapshot fresh = build_snapshot(t, options, SimTime::ms(200));
+  EXPECT_TRUE(catalog.publish(std::move(fresh)).published());
+  EXPECT_EQ(catalog.health()->state, MapCatalog::HealthState::kFresh);
 }
 
 TEST(MapCatalog, StaleEpochPublishIsRejected) {
@@ -291,8 +409,13 @@ TEST(RouteQueryEngine, QuarantineWithholdsRoutesAndStaleAgeIsObservable) {
   EXPECT_FALSE(engine.route("phantom", dst).found);
   EXPECT_EQ(engine.degraded(), 1u);
 
-  // Publishing a new epoch resets health: serving is trusted again.
-  catalog.publish(make_snapshot(t, 2));
+  // Publishing a new epoch resets health: serving is trusted again. The
+  // healing candidate must postdate the quarantine — a snapshot built
+  // before it is exactly what SL501 refuses.
+  SnapshotOptions healed_options;
+  healed_options.route_seed = 2;
+  healed_options.source = "test";
+  catalog.publish(build_snapshot(t, healed_options, SimTime::ms(300)));
   const RouteAnswer healed = engine.route(src, dst);
   ASSERT_TRUE(healed.found);
   EXPECT_EQ(healed.status, QueryStatus::kOk);

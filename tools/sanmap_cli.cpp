@@ -11,10 +11,10 @@
 //   sanmap routes --in FILE [--root NAME] [--sample N]
 //   sanmap lint   --in FILE [--root NAME] [--seed N] [--json]
 //                 [--map-only] [--hop-limit N] [--imbalance-threshold X]
-//                 [--sabotage-turn]
+//                 [--sabotage-turn] [--diff OLD]
 //   sanmap dot    --in FILE [--out FILE]
 //   sanmap serve  --in FILE [--master HOST] [--ticks N] [--interval-ms M]
-//                 [--federate SPEC [--overlap N]]
+//                 [--federate SPEC [--overlap N]] [--paranoid]
 //                 [--faults SPEC | --churn SPEC [--churn-seed N]]
 //                 [--snapshot-out FILE]
 //   sanmap query  --snapshot FILE [--src HOST --dst HOST] [--sample N]
@@ -27,6 +27,7 @@
 #include <sstream>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/incremental.hpp"
 #include "common/flags.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -546,6 +547,9 @@ int cmd_serve(int argc, const char* const* argv) {
   flags.define("overlap", "2",
                "federation overlap margin (extra region probe depth)");
   flags.define("snapshot-out", "", "write the final snapshot here (binary)");
+  flags.define("paranoid", "false",
+               "cross-check the incremental publish gate with a from-scratch "
+               "analysis on every candidate snapshot");
   if (!flags.parse(argc, argv)) {
     return 0;
   }
@@ -568,6 +572,7 @@ int cmd_serve(int argc, const char* const* argv) {
       common::SimTime::ms(flags.get_int("interval-ms"));
   config.root_name = flags.get("root");
   config.route_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.paranoid = flags.get_bool("paranoid");
   service::RefreshLoop loop(net, catalog, config);
 
   if (!flags.get("federate").empty()) {
@@ -658,6 +663,12 @@ int cmd_serve(int argc, const char* const* argv) {
   std::cerr << "catalog   : " << stats.published << " published, "
             << stats.rejected_unsafe << " rejected unsafe, "
             << stats.rejected_stale << " rejected stale\n";
+  const auto gate = catalog.gate_stats();
+  std::cerr << "gate      : " << gate.incremental_fast << " fast, "
+            << gate.incremental_escalated << " escalated, "
+            << gate.checker_rejections << " checker rejections, "
+            << gate.paranoid_divergences << " divergences, "
+            << gate.rejected_stale_lints << " stale-lint refusals\n";
   const service::SnapshotPtr current = catalog.current();
   if (current && !flags.get("snapshot-out").empty()) {
     service::write_snapshot_file(flags.get("snapshot-out"), *current);
@@ -723,10 +734,152 @@ int cmd_query(int argc, const char* const* argv) {
   return 0;
 }
 
+// Reads one lint input (file path or "-" for stdin) and dispatches on
+// content, not extension, so piped stdin works the same as files:
+// a .sancase scenario, a to_dot export, or a topology v1 file.
+topo::Topology read_lint_input(const std::string& path) {
+  std::string text;
+  {
+    std::ostringstream buffer;
+    if (path == "-") {
+      buffer << std::cin.rdbuf();
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        throw std::runtime_error("cannot open " + path);
+      }
+      buffer << in.rdbuf();
+    }
+    text = buffer.str();
+  }
+  if (text.rfind("# sanmap case v1", 0) == 0) {
+    return verify::case_from_text(text).network;
+  }
+  if (text.find_first_not_of(" \t\r\n") != std::string::npos &&
+      text.compare(text.find_first_not_of(" \t\r\n"), 5, "graph") == 0) {
+    return topo::dot_from_text(text);
+  }
+  return topo::from_text(text);
+}
+
+// The human-readable tail of a lint run (the --json path bypasses this).
+// Returns the report's exit code.
+int print_lint_result(const analysis::AnalysisResult& result) {
+  std::cout << result.report.text();
+  if (result.analyzed_routes) {
+    std::cout << "legality : " << result.legality.routes.size()
+              << " routes from root " << result.legality.root_name << ", "
+              << (result.legality.all_legal ? "all legal"
+                                            : "ILLEGAL TURNS FOUND")
+              << "\n";
+    std::cout << "deadlock : "
+              << (result.deadlock.deadlock_free ? "acyclic" : "CYCLE") << " ("
+              << result.deadlock.channels << " channels, "
+              << result.deadlock.dependencies << " dependencies)\n";
+  }
+  std::cout << "verdict  : "
+            << (result.report.exit_code() == 0
+                    ? "clean"
+                    : result.report.exit_code() == 1 ? "warnings" : "ERRORS")
+            << "\n";
+  return result.report.exit_code();
+}
+
+// sanmap lint --diff: incremental re-analysis of NEW against OLD. Both
+// inputs must share a wire/node id space (the usual source: two
+// serializations of the same fabric across a mutation or a churn window —
+// topology ids are append-only, so that correspondence is exact). The old
+// case primes an AnalysisState, the new one is reanalyzed through the
+// dirty-region engine, and an independent DeltaChecker re-proves the
+// emitted CertificateDelta; a refused delta is an ERROR-grade exit no
+// matter what the report itself says.
+int lint_diff(const topo::Topology& old_fabric, const topo::Topology& fabric,
+              const std::string& root_name, std::uint64_t seed,
+              const analysis::AnalyzerOptions& options, bool json) {
+  const auto route = [&](const topo::Topology& t) {
+    routing::UpDownOptions route_options;
+    if (!root_name.empty()) {
+      for (const topo::NodeId s : t.switches()) {
+        if (t.name(s) == root_name) {
+          route_options.root = s;
+        }
+      }
+      if (!route_options.root) {
+        throw std::runtime_error("no switch named " + root_name);
+      }
+    }
+    return routing::compute_updown_routes(t, route_options, seed);
+  };
+  const routing::RoutingResult old_routes = route(old_fabric);
+  const routing::RoutingResult new_routes = route(fabric);
+
+  analysis::AnalysisStateOptions state_options;
+  state_options.analyzer = options;
+  analysis::AnalysisState state(state_options);
+  analysis::DeltaChecker checker;
+  std::vector<std::string> why;
+
+  const analysis::AnalysisState::Result base =
+      state.reset(old_fabric, old_routes);
+  if (!checker.check(old_fabric, old_routes, base.analysis, base.delta,
+                     &why)) {
+    std::cerr << "baseline  : REJECTED by the certificate checker\n";
+    for (const std::string& line : why) {
+      std::cerr << "            - " << line << "\n";
+    }
+    return 2;
+  }
+  const analysis::AnalysisState::Result step = state.reanalyze(fabric,
+                                                               new_routes);
+  const bool proven =
+      checker.check(fabric, new_routes, step.analysis, step.delta, &why);
+
+  const analysis::CertificateDelta& delta = step.delta;
+  std::cerr << "baseline  : "
+            << (base.analysis.report.exit_code() == 2 ? "ERRORS" : "ok")
+            << " (" << old_fabric.num_switches() << " switches, "
+            << old_routes.routes.size() << " routes)\n";
+  std::cerr << "delta     : revision " << delta.base_revision << " -> "
+            << delta.revision << ", ";
+  if (delta.escalated_full) {
+    std::cerr << "escalated (" << analysis::to_string(delta.reason) << ")\n";
+  } else {
+    std::cerr << "fast path, " << delta.touched() << " touched\n";
+    std::cerr << "            dirty " << delta.dirty_wires.size()
+              << " wires / " << delta.dirty_nodes.size() << " nodes; routes "
+              << delta.changed_routes.size() << " changed / "
+              << delta.removed_routes.size() << " removed; labels "
+              << delta.label_updates.size() << "; legality "
+              << delta.legality_updates.size() << "; edges +"
+              << delta.inserted_edges.size() << "/-"
+              << delta.removed_edges.size()
+              << (delta.order_rebuilt ? "; order rebuilt" : "") << "\n";
+  }
+  if (proven) {
+    std::cerr << "checker   : delta PROVEN (revision " << checker.revision()
+              << ")\n";
+  } else {
+    std::cerr << "checker   : delta REJECTED\n";
+    for (const std::string& line : why) {
+      std::cerr << "            - " << line << "\n";
+    }
+  }
+
+  int code;
+  if (json) {
+    std::cout << analysis::to_json(step.analysis) << "\n";
+    code = step.analysis.report.exit_code();
+  } else {
+    code = print_lint_result(step.analysis);
+  }
+  return proven ? code : 2;
+}
+
 // sanmap lint: the static analyzer's CLI face. Reads a topology v1 file,
 // a to_dot export, or a .sancase scenario (auto-detected), runs sanlint,
 // and exits with the report's max severity (0 clean/info, 1 warnings,
-// 2 errors).
+// 2 errors). With --diff OLD the run goes through the incremental engine
+// instead: OLD primes the baseline, --in is reanalyzed as a delta.
 int cmd_lint(int argc, const char* const* argv) {
   common::Flags flags;
   flags.define("in", "-",
@@ -741,43 +894,31 @@ int cmd_lint(int argc, const char* const* argv) {
   flags.define("sabotage-turn", "false",
                "inject an illegal down-to-up turn into one route first "
                "(self-check: lint must then fail with SL101)");
+  flags.define("diff", "",
+               "baseline input: prime the incremental engine on it, "
+               "reanalyze --in as a certificate delta, and have the "
+               "independent checker re-prove the delta");
   if (!flags.parse(argc, argv)) {
     return 0;
   }
 
-  // Read the whole input once; dispatch on content, not extension, so
-  // piped stdin works the same as files.
-  std::string text;
-  {
-    const std::string path = flags.get("in");
-    std::ostringstream buffer;
-    if (path == "-") {
-      buffer << std::cin.rdbuf();
-    } else {
-      std::ifstream in(path);
-      if (!in) {
-        throw std::runtime_error("cannot open " + path);
-      }
-      buffer << in.rdbuf();
-    }
-    text = buffer.str();
-  }
-
-  topo::Topology fabric;
-  if (text.rfind("# sanmap case v1", 0) == 0) {
-    fabric = verify::case_from_text(text).network;
-  } else if (text.find_first_not_of(" \t\r\n") != std::string::npos &&
-             text.compare(text.find_first_not_of(" \t\r\n"), 5, "graph") ==
-                 0) {
-    fabric = topo::dot_from_text(text);
-  } else {
-    fabric = topo::from_text(text);
-  }
+  topo::Topology fabric = read_lint_input(flags.get("in"));
 
   analysis::AnalyzerOptions options;
   options.lints.hop_limit = static_cast<int>(flags.get_int("hop-limit"));
   options.lints.load_imbalance_threshold =
       flags.get_double("imbalance-threshold");
+
+  if (!flags.get("diff").empty()) {
+    // Diff mode routes over the raw fabrics (no component stripping, no
+    // compaction): the incremental engine keys its dirty sets on wire and
+    // node ids, and only the uncompacted fabric keeps those stable across
+    // the two inputs.
+    return lint_diff(read_lint_input(flags.get("diff")), fabric,
+                     flags.get("root"),
+                     static_cast<std::uint64_t>(flags.get_int("seed")),
+                     options, flags.get_bool("json"));
+  }
 
   analysis::AnalysisResult result;
   const bool routable = !flags.get_bool("map-only") &&
@@ -837,26 +978,9 @@ int cmd_lint(int argc, const char* const* argv) {
 
   if (flags.get_bool("json")) {
     std::cout << analysis::to_json(result) << "\n";
-  } else {
-    std::cout << result.report.text();
-    if (result.analyzed_routes) {
-      std::cout << "legality : " << result.legality.routes.size()
-                << " routes from root " << result.legality.root_name << ", "
-                << (result.legality.all_legal ? "all legal"
-                                              : "ILLEGAL TURNS FOUND")
-                << "\n";
-      std::cout << "deadlock : "
-                << (result.deadlock.deadlock_free ? "acyclic" : "CYCLE")
-                << " (" << result.deadlock.channels << " channels, "
-                << result.deadlock.dependencies << " dependencies)\n";
-    }
-    std::cout << "verdict  : "
-              << (result.report.exit_code() == 0
-                      ? "clean"
-                      : result.report.exit_code() == 1 ? "warnings" : "ERRORS")
-              << "\n";
+    return result.report.exit_code();
   }
-  return result.report.exit_code();
+  return print_lint_result(result);
 }
 
 int cmd_dot(int argc, const char* const* argv) {
