@@ -19,7 +19,7 @@ void emit_legality_findings(const topo::Topology& map,
     loc << "route " << map.name(entry.src) << "->" << map.name(entry.dst)
         << " hop " << entry.offending_hop;
     report.add("SL101", loc.str(),
-               "down-to-up turn w.r.t. the BFS spanning tree rooted at " +
+               "down-to-up turn w.r.t. the spanning order rooted at " +
                    cert.root_name,
                "every legal route is zero or more up hops then zero or "
                "more down hops (paper sec 5.5)");

@@ -114,7 +114,21 @@ LegalityCertificate build_legality_certificate(
       "legality certificate: root " << cert.root
                                     << " is not a live switch of the map");
   cert.root_name = topo.name(cert.root);
-  cert.labels = legality_labels(topo, cert.root);
+  // The labels come from the table's own orientation, not a fresh BFS:
+  // legality is relative to whatever total order the engine routed against
+  // (BFS for updown, DFS preorder for the dfs engine — byte-identical to
+  // the old recomputation for updown tables under default options), and
+  // check_legality re-validates purely from the recorded labels. Read via
+  // raw_labels(): the orientation's topology pointer dangles once a
+  // RoutingResult has moved across snapshots, but the label array is owned.
+  const std::vector<int>& order = routes.orientation.raw_labels();
+  SANMAP_CHECK_MSG(order.size() >= topo.node_capacity(),
+                   "legality certificate: the table's orientation does not "
+                   "cover this map");
+  cert.labels.assign(topo.node_capacity(), 0);
+  for (const topo::NodeId n : topo.nodes()) {
+    cert.labels[n] = order[n];
+  }
   cert.routes.reserve(routes.routes.size());
   for (const auto& [key, route] : routes.routes) {
     cert.routes.push_back(
@@ -371,28 +385,22 @@ std::string to_string(const routing::Channel& channel) {
   return oss.str();
 }
 
-namespace {
-
-/// Rebuilds a hand-assembled detour's turn word from its wires so the only
-/// diagnosable defect is the turn direction itself (SL105 stays quiet).
-void recompute_turns(const topo::Topology& topo, routing::HostRoute& route) {
-  route.turns.clear();
-  for (std::size_t i = 1; i + 1 < route.nodes.size(); ++i) {
-    const topo::Wire& in_wire = topo.wire(route.wires[i - 1]);
-    const topo::Wire& out_wire = topo.wire(route.wires[i]);
-    const topo::Port in_port = in_wire.opposite(route.nodes[i - 1]).port;
-    const topo::Port out_port =
-        out_wire.a.node == route.nodes[i] ? out_wire.a.port : out_wire.b.port;
-    route.turns.push_back(out_port - in_port);
-  }
-}
-
-}  // namespace
+// Hand-assembled detours below rebuild their turn words with
+// routing::recompute_turns so the only diagnosable defect is the turn
+// direction itself (SL105 stays quiet).
 
 std::string inject_down_up_turn(const topo::Topology& topo,
                                 routing::RoutingResult& routes) {
-  const std::vector<int> labels =
-      legality_labels(topo, routes.orientation.root());
+  // Sabotage must be relative to the table's own order, or a "down-up"
+  // detour picked via fresh BFS labels could be legal under a DFS table.
+  // raw_labels(): see build_legality_certificate.
+  const std::vector<int>& order = routes.orientation.raw_labels();
+  SANMAP_CHECK_MSG(order.size() >= topo.node_capacity(),
+                   "sabotage: the table's orientation does not cover this map");
+  std::vector<int> labels(topo.node_capacity(), 0);
+  for (const topo::NodeId n : topo.nodes()) {
+    labels[n] = order[n];
+  }
   for (const topo::NodeId s : topo.switches()) {
     // Two hosts on s (detour endpoints) and a lex-greater neighbor switch t:
     // s -> t is then a down move and the return t -> s the illegal up.

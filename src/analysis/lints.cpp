@@ -440,11 +440,75 @@ void lint_route_quality(const topo::Topology& topo,
     const auto it = loads.find({w, a_to_b});
     return it == loads.end() ? std::size_t{0} : it->second;
   };
-  // Parallel-cable skew: within a group of 2+ directed channels between the
-  // same switch pair, the seeded tie-break should keep loads within a
-  // constant factor.
+  // Parallel-cable skew. When the engine (or the route optimizer) declared
+  // a per-cable assignment for the whole group, the lint audits the table
+  // against that declaration — the plan is the engine's balancing *intent*,
+  // and a deliberately direction-split assignment (all A->B traffic on one
+  // cable, all B->A on its sibling) is jointly balanced even though each
+  // directed channel looks skewed in isolation. Re-deriving a
+  // per-direction uniformity expectation here used to flag exactly those
+  // optimizer-balanced tables. Without a covering plan, the historical
+  // heuristic applies: the seeded tie-break should keep per-direction
+  // loads within a constant factor.
+  const auto& plan = routes.meta.cable_plan;
+  const auto declared = [&](topo::WireId w,
+                            bool a_to_b) -> const std::size_t* {
+    const auto it = plan.find({w, a_to_b});
+    return it == plan.end() ? nullptr : &it->second;
+  };
   for (const auto& [endpoints, channels] : parallel) {
     if (channels.size() < 2) {
+      continue;
+    }
+    bool planned = !plan.empty();
+    for (const auto& [w, a_to_b] : channels) {
+      planned = planned && declared(w, a_to_b) != nullptr;
+    }
+    if (planned) {
+      // (a) The table must match the declaration channel by channel.
+      for (const auto& [w, a_to_b] : channels) {
+        const std::size_t actual = channel_load(w, a_to_b);
+        const std::size_t want = *declared(w, a_to_b);
+        if (actual != want) {
+          std::ostringstream oss;
+          oss << "parallel cables " << topo.name(endpoints.first) << "->"
+              << topo.name(endpoints.second) << ": wire " << w << " carries "
+              << actual << " routes but the engine declared " << want;
+          report.add("SL403", "", oss.str(),
+                     "the table diverged from the engine's cable plan; "
+                     "recompute the table");
+        }
+      }
+      // (b) The declared plan itself must be jointly balanced. Joint loads
+      // are direction-agnostic, so emit once per unordered switch pair.
+      if (endpoints.first < endpoints.second) {
+        std::size_t joint_max = 0;
+        std::size_t joint_min = std::numeric_limits<std::size_t>::max();
+        topo::WireId hottest = topo::kInvalidWire;
+        for (const auto& [w, a_to_b] : channels) {
+          const auto* fwd = declared(w, true);
+          const auto* rev = declared(w, false);
+          const std::size_t joint = (fwd ? *fwd : 0) + (rev ? *rev : 0);
+          if (joint > joint_max) {
+            joint_max = joint;
+            hottest = w;
+          }
+          joint_min = std::min(joint_min, joint);
+        }
+        if (static_cast<double>(joint_max) >
+            options.load_imbalance_threshold *
+                static_cast<double>(std::max<std::size_t>(joint_min, 1))) {
+          std::ostringstream oss;
+          oss << "parallel cables " << topo.name(endpoints.first) << "<->"
+              << topo.name(endpoints.second) << ": wire " << hottest
+              << " is planned for " << joint_max
+              << " routes (both directions) while a sibling is planned for "
+              << joint_min;
+          report.add("SL403", "", oss.str(),
+                     "the engine's cable plan concentrates a parallel "
+                     "trunk; rebalance the assignment");
+        }
+      }
       continue;
     }
     std::size_t group_max = 0;

@@ -8,6 +8,8 @@
 #include "mapper/berkeley_mapper.hpp"
 #include "probe/probe_engine.hpp"
 #include "routing/deadlock.hpp"
+#include "routing/engine.hpp"
+#include "routing/optimizer.hpp"
 #include "topology/algorithms.hpp"
 
 namespace sanmap::federation {
@@ -113,8 +115,11 @@ FederatedResult FederatedMapper::run() {
       return result;
     }
   }
-  result.routes = routing::compute_updown_routes(result.map, route_options,
-                                                 config_.route_seed);
+  result.routes = routing::compute_routes(result.map, config_.engine,
+                                          route_options, config_.route_seed);
+  if (config_.optimize) {
+    routing::optimize_routes(result.map, *result.routes);
+  }
   result.verdict = analysis::analyze(result.map, *result.routes);
   for (const analysis::Diagnostic& d : result.verdict.report.diagnostics()) {
     if (d.severity == analysis::Severity::kError) {

@@ -79,6 +79,13 @@ struct FederationConfig {
   /// Route parameters for the merged model.
   std::string root_name;
   std::uint64_t route_seed = 1;
+  /// Routing engine for the merged model's table. The certification stack
+  /// below (full analyzer + independent certificate re-checkers) is
+  /// engine-agnostic: any engine whose table certifies is publishable.
+  routing::EngineKind engine = routing::EngineKind::kUpDown;
+  /// Run the RouteOptimizer skew/funnel pass on the merged table before
+  /// certification.
+  bool optimize = false;
 
   /// Fault injection for tests only: the region with this index throws
   /// mid-session, proving the pool propagates instead of deadlocking.

@@ -77,14 +77,17 @@ struct SelfHealConfig {
   /// Host (by name; must exist in every map) that distributes the tables.
   std::string master_name;
   UpDownOptions updown;
-  /// Seed for the route emitter's parallel-cable choice. Reuse it to
-  /// recompute the final RoutingResult from the returned map.
+  /// Which routing engine computes the tables (routing/engine.hpp).
+  EngineKind engine = EngineKind::kUpDown;
+  /// Seed for the route emitter's parallel-cable choice. Reuse it (with the
+  /// same engine) to recompute the final RoutingResult from the returned
+  /// map.
   std::uint64_t route_seed = 1;
 };
 
 struct SelfHealResult {
   /// The map the final (validated) routes were computed on. Recompute the
-  /// routes with compute_updown_routes(map, config.updown,
+  /// routes with compute_routes(map, config.engine, config.updown,
   /// config.route_seed) — deterministic, and avoids returning a
   /// RoutingResult whose orientation would dangle once the map moves.
   topo::Topology map;
@@ -95,6 +98,12 @@ struct SelfHealResult {
   int iterations = 0;
   /// All routes validated and all tables delivered within the budget.
   bool converged = false;
+  /// Iterations whose map was unroutable (disconnected, switch-free, or
+  /// missing the master — e.g. a partial remap of a quarantined region) and
+  /// was escalated straight to a full recompute instead of being handed to
+  /// the engine, whose orientation would have no labels for the missing
+  /// region.
+  std::size_t escalated_remaps = 0;
   /// Broken routes found across all iterations (repair triggers).
   std::size_t total_broken = 0;
   /// Virtual-clock instant the loop finished at.

@@ -4,66 +4,15 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "routing/all_pairs.hpp"
 
 namespace sanmap::routing {
 
 namespace {
 
-constexpr int kInf = std::numeric_limits<int>::max() / 4;
+constexpr int kInf = detail::kUnreachable;
 
-/// Floyd-Warshall over one directed relation (up or down moves), with
-/// intermediate-node reconstruction.
-struct AllPairs {
-  std::vector<int> dist;  // n*n
-  std::vector<int> via;   // n*n; -1 = direct edge (or unreachable/self)
-  std::size_t n = 0;
-
-  [[nodiscard]] int d(std::size_t i, std::size_t j) const {
-    return dist[i * n + j];
-  }
-
-  void compute(std::size_t count,
-               const std::vector<std::vector<std::size_t>>& direct) {
-    n = count;
-    dist.assign(n * n, kInf);
-    via.assign(n * n, -1);
-    for (std::size_t i = 0; i < n; ++i) {
-      dist[i * n + i] = 0;
-      for (const std::size_t j : direct[i]) {
-        dist[i * n + j] = 1;
-      }
-    }
-    for (std::size_t k = 0; k < n; ++k) {
-      for (std::size_t i = 0; i < n; ++i) {
-        const int dik = dist[i * n + k];
-        if (dik == kInf) {
-          continue;
-        }
-        for (std::size_t j = 0; j < n; ++j) {
-          if (dik + dist[k * n + j] < dist[i * n + j]) {
-            dist[i * n + j] = dik + dist[k * n + j];
-            via[i * n + j] = static_cast<int>(k);
-          }
-        }
-      }
-    }
-  }
-
-  /// Appends the node sequence strictly after `i` up to and including `j`.
-  void expand(std::size_t i, std::size_t j,
-              std::vector<std::size_t>& out) const {
-    if (i == j) {
-      return;
-    }
-    const int k = via[i * n + j];
-    if (k == -1) {
-      out.push_back(j);
-      return;
-    }
-    expand(i, static_cast<std::size_t>(k), out);
-    expand(static_cast<std::size_t>(k), j, out);
-  }
-};
+using detail::AllPairs;
 
 }  // namespace
 
@@ -108,7 +57,7 @@ int RoutingResult::max_hops() const {
 RoutingResult compute_updown_routes(const topo::Topology& topo,
                                     const UpDownOptions& options,
                                     std::uint64_t seed) {
-  RoutingResult result{UpDownOrientation(topo, options), {}};
+  RoutingResult result{UpDownOrientation(topo, options), {}, {}};
   const UpDownOrientation& orientation = result.orientation;
   common::Rng rng(seed);
 
@@ -197,25 +146,30 @@ RoutingResult compute_updown_routes(const topo::Topology& topo,
         const auto& candidates = wires_between.at(key);
         route.wires.push_back(rng.pick(candidates));
       }
-      // Emit the turn sequence: at each intermediate switch, the turn is
-      // the exit port minus the entry port (§2.2 relative addressing).
-      for (std::size_t h = 1; h < route.wires.size(); ++h) {
-        const topo::NodeId at = route.nodes[h];
-        const topo::Wire& in_wire = topo.wire(route.wires[h - 1]);
-        const topo::Wire& out_wire = topo.wire(route.wires[h]);
-        const topo::Port in_port = in_wire.opposite(route.nodes[h - 1]).port;
-        topo::Port out_port;
-        if (out_wire.a.node == at) {
-          out_port = out_wire.a.port;
-        } else {
-          out_port = out_wire.b.port;
-        }
-        route.turns.push_back(out_port - in_port);
-      }
+      recompute_turns(topo, route);
       result.routes.emplace(std::make_pair(src, dst), std::move(route));
     }
   }
   return result;
+}
+
+void recompute_turns(const topo::Topology& topo, HostRoute& route) {
+  // At each intermediate switch, the turn is the exit port minus the entry
+  // port (§2.2 relative addressing).
+  route.turns.clear();
+  for (std::size_t h = 1; h < route.wires.size(); ++h) {
+    const topo::NodeId at = route.nodes[h];
+    const topo::Wire& in_wire = topo.wire(route.wires[h - 1]);
+    const topo::Wire& out_wire = topo.wire(route.wires[h]);
+    const topo::Port in_port = in_wire.opposite(route.nodes[h - 1]).port;
+    topo::Port out_port;
+    if (out_wire.a.node == at) {
+      out_port = out_wire.a.port;
+    } else {
+      out_port = out_wire.b.port;
+    }
+    route.turns.push_back(out_port - in_port);
+  }
 }
 
 }  // namespace sanmap::routing

@@ -34,6 +34,16 @@ class UpDownOrientation {
  public:
   UpDownOrientation(const topo::Topology& topo, const UpDownOptions& options);
 
+  /// Adopts an externally computed total order instead of BFS labeling:
+  /// `labels` is indexed by NodeId up to topo.node_capacity() and must rank
+  /// `root` (a live switch) at the order's minimum among live nodes. The
+  /// deadlock-freedom argument only needs the order to be total — up moves
+  /// strictly descend in (label, id), so any channel-dependency cycle would
+  /// need a down-to-up turn, which legal routes never make. The DFS engine
+  /// uses this with preorder labels (routing/engine.hpp).
+  UpDownOrientation(const topo::Topology& topo, topo::NodeId root,
+                    std::vector<int> labels);
+
   [[nodiscard]] topo::NodeId root() const { return root_; }
 
   /// True when traversing `wire` out of `from` moves up (toward the root).
@@ -42,6 +52,12 @@ class UpDownOrientation {
   /// The label used for ordering (distance component; after dominant-switch
   /// fixes it may be negative).
   [[nodiscard]] int label(topo::NodeId node) const;
+
+  /// The full label array, indexed by NodeId. Unlike label(), never touches
+  /// the internal topology pointer — which dangles once a RoutingResult is
+  /// moved across snapshots — so readers that carry their own map (the
+  /// certificate builders) use this.
+  [[nodiscard]] const std::vector<int>& raw_labels() const { return labels_; }
 
   /// Number of dominant-switch relabelings that were applied.
   [[nodiscard]] int relabeled_switches() const { return relabeled_; }

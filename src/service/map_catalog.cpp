@@ -75,11 +75,10 @@ std::vector<analysis::Diagnostic> gate_errors_of(
   return errors;
 }
 
-/// kParanoid cross-check: the incremental verdict must match the
-/// from-scratch one in every observable — diagnostics (byte-for-byte),
-/// the legality verdict, and the deadlock verdict.
-bool same_verdict(const analysis::AnalysisResult& a,
-                  const analysis::AnalysisResult& b) {
+}  // namespace
+
+bool equivalent_verdicts(const analysis::AnalysisResult& a,
+                         const analysis::AnalysisResult& b) {
   const auto& da = a.report.diagnostics();
   const auto& db = b.report.diagnostics();
   if (da.size() != db.size() || a.analyzed_routes != b.analyzed_routes) {
@@ -95,13 +94,28 @@ bool same_verdict(const analysis::AnalysisResult& a,
   if (!a.analyzed_routes) {
     return true;
   }
+  // The certified route set, not just the aggregate flags: two verdicts
+  // that agree "all legal, deadlock-free" may still have certified
+  // different tables (different entry count, a different apex split, or a
+  // different root). That is a divergence too.
+  const auto& ra = a.legality.routes;
+  const auto& rb = b.legality.routes;
+  if (ra.size() != rb.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i].src != rb[i].src || ra[i].dst != rb[i].dst ||
+        ra[i].legal != rb[i].legal || ra[i].apex_hop != rb[i].apex_hop ||
+        ra[i].offending_hop != rb[i].offending_hop) {
+      return false;
+    }
+  }
   return a.legality.all_legal == b.legality.all_legal &&
+         a.legality.root == b.legality.root &&
          a.legality.labels == b.legality.labels &&
          a.deadlock.deadlock_free == b.deadlock.deadlock_free &&
          a.deadlock.dependencies == b.deadlock.dependencies;
 }
-
-}  // namespace
 
 void MapCatalog::lint_staleness(
     const MapSnapshot& snapshot,
@@ -267,7 +281,7 @@ MapCatalog::PublishResult MapCatalog::publish_impl(
     if (gate_mode_ == GateMode::kParanoid) {
       analysis::AnalysisResult full =
           analysis::analyze(snapshot.map, snapshot.routes);
-      if (!same_verdict(*verdict, full)) {
+      if (!equivalent_verdicts(*verdict, full)) {
         ++gate_stats_.paranoid_divergences;
         SANMAP_LOG(kError, "map-catalog",
                    "paranoid gate: incremental verdict diverged from the "

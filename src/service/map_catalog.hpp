@@ -250,4 +250,14 @@ class MapCatalog {
 const char* to_string(MapCatalog::PublishStatus status);
 const char* to_string(MapCatalog::HealthState state);
 
+/// The kParanoid cross-check predicate: the incremental verdict must match
+/// the from-scratch one in every observable — diagnostics (byte-for-byte),
+/// the legality verdict INCLUDING the certified per-route entries (src, dst,
+/// legality, apex, offending hop) and the certifying root, and the deadlock
+/// verdict. Historically this compared only the aggregate flags, so an
+/// incremental pass that certified a different route set with the same
+/// summary slipped through undetected. Exposed for the regression test.
+bool equivalent_verdicts(const analysis::AnalysisResult& a,
+                         const analysis::AnalysisResult& b);
+
 }  // namespace sanmap::service

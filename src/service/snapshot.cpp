@@ -4,6 +4,8 @@
 
 #include "common/check.hpp"
 #include "routing/deadlock.hpp"
+#include "routing/engine.hpp"
+#include "routing/optimizer.hpp"
 
 namespace sanmap::service {
 
@@ -23,8 +25,11 @@ MapSnapshot build_snapshot(const topo::Topology& map,
                      "snapshot root " << options.root_name
                                       << " names no switch of the map");
   }
-  routing::RoutingResult routes =
-      routing::compute_updown_routes(compacted, updown, options.route_seed);
+  routing::RoutingResult routes = routing::compute_routes(
+      compacted, options.engine, updown, options.route_seed);
+  if (options.optimize) {
+    routing::optimize_routes(compacted, routes);
+  }
 
   const routing::DeadlockAnalysis analysis =
       routing::analyze_routes(compacted, routes);

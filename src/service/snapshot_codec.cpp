@@ -13,7 +13,9 @@ namespace sanmap::service {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'A', 'N', 'M', 'S', 'N', 'A', 'P'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends the routing engine kind and the optimizer flag after `source`;
+// v1 payloads decode with the defaults (updown, unoptimized).
+constexpr std::uint32_t kVersion = 2;
 
 std::uint64_t fnv1a(const char* data, std::size_t size) {
   std::uint64_t hash = 14695981039346656037ULL;
@@ -113,6 +115,8 @@ std::string encode_snapshot(const MapSnapshot& snapshot) {
   put_u64(payload, snapshot.options.route_seed);
   put_str(payload, snapshot.options.root_name);
   put_str(payload, snapshot.options.source);
+  put_u32(payload, static_cast<std::uint32_t>(snapshot.options.engine));
+  payload.push_back(snapshot.options.optimize ? 1 : 0);
   put_str(payload, topo::to_text(snapshot.map));
 
   put_u32(payload, static_cast<std::uint32_t>(snapshot.routes.routes.size()));
@@ -143,7 +147,7 @@ MapSnapshot decode_snapshot(const std::string& bytes) {
   }
   Reader header(bytes.data() + sizeof(kMagic), kHeader - sizeof(kMagic));
   const std::uint32_t version = header.u32();
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     throw std::runtime_error("snapshot: unsupported version " +
                              std::to_string(version));
   }
@@ -163,6 +167,15 @@ MapSnapshot decode_snapshot(const std::string& bytes) {
   options.route_seed = payload.u64();
   options.root_name = payload.str();
   options.source = payload.str();
+  if (version >= 2) {
+    const std::uint32_t engine = payload.u32();
+    if (engine > static_cast<std::uint32_t>(routing::EngineKind::kDfs)) {
+      throw std::runtime_error("snapshot: unknown routing engine " +
+                               std::to_string(engine));
+    }
+    options.engine = static_cast<routing::EngineKind>(engine);
+    options.optimize = payload.i8() != 0;
+  }
   const std::string map_text = payload.str();
 
   // Rebuild the snapshot from first principles (the router is deterministic

@@ -9,12 +9,15 @@
 //                 [--federate SPEC [--overlap N]]
 //                 [--collision cut-through|circuit] [--out FILE]
 //   sanmap routes --in FILE [--root NAME] [--sample N]
+//                 [--engine updown|dfs] [--optimize]
 //   sanmap lint   --in FILE [--root NAME] [--seed N] [--json]
+//                 [--engine updown|dfs] [--optimize]
 //                 [--map-only] [--hop-limit N] [--imbalance-threshold X]
 //                 [--sabotage-turn] [--diff OLD]
 //   sanmap dot    --in FILE [--out FILE]
 //   sanmap serve  --in FILE [--master HOST] [--ticks N] [--interval-ms M]
 //                 [--federate SPEC [--overlap N]] [--paranoid]
+//                 [--engine updown|dfs] [--optimize]
 //                 [--faults SPEC | --churn SPEC [--churn-seed N]]
 //                 [--snapshot-out FILE]
 //   sanmap query  --snapshot FILE [--src HOST --dst HOST] [--sample N]
@@ -41,6 +44,8 @@
 #include "myricom/myricom_mapper.hpp"
 #include "probe/probe_engine.hpp"
 #include "routing/deadlock.hpp"
+#include "routing/engine.hpp"
+#include "routing/optimizer.hpp"
 #include "routing/routes.hpp"
 #include "service/map_catalog.hpp"
 #include "service/query_engine.hpp"
@@ -81,6 +86,15 @@ void write_output(const std::string& path, const std::string& content) {
   }
   out << content;
   std::cerr << "wrote " << path << "\n";
+}
+
+routing::EngineKind parse_engine_flag(const std::string& name) {
+  const auto kind = routing::parse_engine(name);
+  if (!kind) {
+    throw std::runtime_error("unknown routing engine " + name +
+                             " (expected updown or dfs)");
+  }
+  return *kind;
 }
 
 topo::NodeId pick_mapper(const topo::Topology& t, const std::string& name) {
@@ -236,6 +250,8 @@ federation::FederatedResult run_federated(const topo::Topology& t,
                                           int overlap_margin,
                                           const std::string& root_name,
                                           std::uint64_t route_seed,
+                                          routing::EngineKind engine,
+                                          bool optimize,
                                           const simnet::FaultSchedule* faults,
                                           simnet::CollisionModel collision) {
   federation::FederationConfig config;
@@ -244,6 +260,8 @@ federation::FederatedResult run_federated(const topo::Topology& t,
   config.collision = collision;
   config.root_name = root_name;
   config.route_seed = route_seed;
+  config.engine = engine;
+  config.optimize = optimize;
   config.faults = faults;
   federation::FederatedMapper federated(t, config);
 
@@ -305,7 +323,8 @@ int cmd_map(int argc, const char* const* argv) {
   if (!flags.get("federate").empty()) {
     const federation::FederatedResult result = run_federated(
         t, flags.get("federate"), static_cast<int>(flags.get_int("overlap")),
-        /*root_name=*/"", /*route_seed=*/1, /*faults=*/nullptr, collision);
+        /*root_name=*/"", /*route_seed=*/1, routing::EngineKind::kUpDown,
+        /*optimize=*/false, /*faults=*/nullptr, collision);
     if (flags.get_bool("verify")) {
       const bool ok = topo::isomorphic(result.map, topo::core(t));
       std::cerr << "verified  : "
@@ -423,6 +442,9 @@ int cmd_routes(int argc, const char* const* argv) {
                            "from hosts)");
   flags.define("sample", "10", "sample routes to print");
   flags.define("seed", "1", "load-balance seed");
+  flags.define("engine", "updown", "routing engine: updown|dfs");
+  flags.define("optimize", "false",
+               "run the skew/funnel route optimizer over the table");
   if (!flags.parse(argc, argv)) {
     return 0;
   }
@@ -438,9 +460,19 @@ int cmd_routes(int argc, const char* const* argv) {
       throw std::runtime_error("no switch named " + root);
     }
   }
-  const auto routes = routing::compute_updown_routes(
-      t, options, static_cast<std::uint64_t>(flags.get_int("seed")));
+  routing::RoutingResult routes = routing::compute_routes(
+      t, parse_engine_flag(flags.get("engine")), options,
+      static_cast<std::uint64_t>(flags.get_int("seed")));
+  if (flags.get_bool("optimize")) {
+    const routing::OptimizerReport opt = routing::optimize_routes(t, routes);
+    std::cout << "optimizer     : max channel load " << opt.max_load_before
+              << " -> " << opt.max_load_after << " (" << opt.path_moves
+              << " path moves, " << opt.cable_moves << " cable moves"
+              << (opt.reverted ? ", 1+ rounds reverted" : "") << ")\n";
+  }
   const auto analysis = routing::analyze_routes(t, routes);
+  std::cout << "engine        : " << routing::to_string(routes.meta.engine)
+            << "\n";
   std::cout << "root          : " << t.name(routes.orientation.root())
             << "\n";
   std::cout << "routes        : " << routes.routes.size() << " (mean "
@@ -532,6 +564,10 @@ int cmd_serve(int argc, const char* const* argv) {
   flags.define("interval-ms", "50", "virtual time between checks");
   flags.define("root", "", "UP*/DOWN* root switch name");
   flags.define("seed", "1", "route load-balance seed");
+  flags.define("engine", "updown",
+               "routing engine for every published snapshot: updown|dfs");
+  flags.define("optimize", "false",
+               "run the skew/funnel route optimizer on every candidate");
   flags.define("faults", "",
                "fault timeline, e.g. link-down:4@150,node-down:h3@200,"
                "flap:7@64x0.5");
@@ -572,6 +608,8 @@ int cmd_serve(int argc, const char* const* argv) {
       common::SimTime::ms(flags.get_int("interval-ms"));
   config.root_name = flags.get("root");
   config.route_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.engine = parse_engine_flag(flags.get("engine"));
+  config.optimize = flags.get_bool("optimize");
   config.paranoid = flags.get_bool("paranoid");
   service::RefreshLoop loop(net, catalog, config);
 
@@ -584,8 +622,8 @@ int cmd_serve(int argc, const char* const* argv) {
     const federation::FederatedResult result = run_federated(
         t, flags.get("federate"), static_cast<int>(flags.get_int("overlap")),
         flags.get("root"),
-        static_cast<std::uint64_t>(flags.get_int("seed")),
-        flags.get("churn").empty() ? &schedule : nullptr,
+        static_cast<std::uint64_t>(flags.get_int("seed")), config.engine,
+        config.optimize, flags.get("churn").empty() ? &schedule : nullptr,
         simnet::CollisionModel::kCutThrough);
     if (!result.certified) {
       std::cerr << "bootstrap : REFUSED — uncertified merged map is not "
@@ -596,6 +634,8 @@ int cmd_serve(int argc, const char* const* argv) {
     snapshot_options.root_name = flags.get("root");
     snapshot_options.route_seed =
         static_cast<std::uint64_t>(flags.get_int("seed"));
+    snapshot_options.engine = config.engine;
+    snapshot_options.optimize = config.optimize;
     snapshot_options.source = "federated-bootstrap";
     const auto publish = catalog.publish(service::build_snapshot(
         result.map, snapshot_options, result.elapsed));
@@ -795,6 +835,7 @@ int print_lint_result(const analysis::AnalysisResult& result) {
 // matter what the report itself says.
 int lint_diff(const topo::Topology& old_fabric, const topo::Topology& fabric,
               const std::string& root_name, std::uint64_t seed,
+              routing::EngineKind engine,
               const analysis::AnalyzerOptions& options, bool json) {
   const auto route = [&](const topo::Topology& t) {
     routing::UpDownOptions route_options;
@@ -808,7 +849,7 @@ int lint_diff(const topo::Topology& old_fabric, const topo::Topology& fabric,
         throw std::runtime_error("no switch named " + root_name);
       }
     }
-    return routing::compute_updown_routes(t, route_options, seed);
+    return routing::compute_routes(t, engine, route_options, seed);
   };
   const routing::RoutingResult old_routes = route(old_fabric);
   const routing::RoutingResult new_routes = route(fabric);
@@ -886,6 +927,9 @@ int cmd_lint(int argc, const char* const* argv) {
                "input: topology v1, sanmap dot export, or .sancase");
   flags.define("root", "", "UP*/DOWN* root switch name");
   flags.define("seed", "1", "route load-balance seed");
+  flags.define("engine", "updown", "routing engine: updown|dfs");
+  flags.define("optimize", "false",
+               "run the skew/funnel route optimizer before linting");
   flags.define("json", "false", "emit the full report as JSON");
   flags.define("map-only", "false", "fabric lints only, skip the route phase");
   flags.define("hop-limit", "0", "warn on routes longer than this (0 = off)");
@@ -917,7 +961,8 @@ int cmd_lint(int argc, const char* const* argv) {
     return lint_diff(read_lint_input(flags.get("diff")), fabric,
                      flags.get("root"),
                      static_cast<std::uint64_t>(flags.get_int("seed")),
-                     options, flags.get_bool("json"));
+                     parse_engine_flag(flags.get("engine")), options,
+                     flags.get_bool("json"));
   }
 
   analysis::AnalysisResult result;
@@ -949,9 +994,12 @@ int cmd_lint(int argc, const char* const* argv) {
       }
     }
     if (local.num_switches() >= 1) {
-      routing::RoutingResult routes = routing::compute_updown_routes(
-          local, route_options,
+      routing::RoutingResult routes = routing::compute_routes(
+          local, parse_engine_flag(flags.get("engine")), route_options,
           static_cast<std::uint64_t>(flags.get_int("seed")));
+      if (flags.get_bool("optimize")) {
+        routing::optimize_routes(local, routes);
+      }
       if (flags.get_bool("sabotage-turn")) {
         const std::string injected =
             analysis::inject_down_up_turn(local, routes);
